@@ -1,0 +1,171 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section (Section 6) over the synthetic workload suite.
+//
+//	paperbench -all            # everything (default)
+//	paperbench -fig 4          # one figure
+//	paperbench -table 2        # Table 2
+//	paperbench -scalars        # Section 6.1 scalar results
+//	paperbench -quick          # reduced instruction count for a fast pass
+//	paperbench -instr 20000000 # longer runs (closer to the paper's 1B)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"secmem/internal/harness"
+)
+
+func main() {
+	var (
+		instr   = flag.Uint64("instr", 4_000_000, "instructions per run")
+		quick   = flag.Bool("quick", false, "reduced campaign (1M instructions)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		fig     = flag.Int("fig", 0, "regenerate one figure (4,5,6,7,8,9,10)")
+		table   = flag.Int("table", 0, "regenerate one table (2)")
+		scalars = flag.Bool("scalars", false, "regenerate Section 6.1 scalars")
+		ablate  = flag.Bool("ablate", false, "run the RSR/minor-width/page-size ablations")
+		all     = flag.Bool("all", false, "regenerate everything")
+		jsonOut = flag.String("json", "", "also write structured results as JSON to this file")
+		svgDir  = flag.String("svg", "", "also render figures as SVG files into this directory")
+	)
+	flag.Parse()
+	if *quick {
+		*instr = 1_000_000
+	}
+	if *fig == 0 && *table == 0 && !*scalars && !*ablate {
+		*all = true
+	}
+	r := harness.New(harness.Options{Instructions: *instr, Seed: *seed})
+	structured := map[string]any{}
+	svgs := map[string]string{}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	type job struct {
+		name string
+		run  func()
+	}
+	keep := func(name string, tbl fmt.Stringer, data any) {
+		fmt.Println(tbl)
+		structured[name] = data
+	}
+	jobs := []job{
+		{"fig4", func() {
+			tbl, d := r.Fig4()
+			keep("fig4", tbl, d)
+			svgs["fig4"] = harness.BarSVG("Figure 4: Memory encryption schemes", d,
+				[]string{"Split", "Mono8b", "Mono16b", "Mono32b", "Mono64b", "Direct"}, harness.Fig4Benches)
+		}},
+		{"table2", func() { tbl, d := r.Table2(); keep("table2_overflow_seconds", tbl, d) }},
+		{"fig5", func() {
+			tbl, d := r.Fig5()
+			keep("fig5", tbl, d)
+			svgs["fig5"] = harness.Fig5SVG(d)
+		}},
+		{"fig6a", func() { tbl, d := r.Fig6a(); keep("fig6a", tbl, d) }},
+		{"fig6b", func() {
+			tbl, d := r.Fig6b(5)
+			keep("fig6b", tbl, d)
+			svgs["fig6b"] = harness.Fig6bSVG(d)
+		}},
+		{"fig7", func() {
+			tbl, d := r.Fig7()
+			keep("fig7", tbl, d)
+			svgs["fig7"] = harness.BarSVG("Figure 7: Memory authentication schemes", d,
+				[]string{"GCM", "SHA-1 (80)", "SHA-1 (160)", "SHA-1 (320)", "SHA-1 (640)"}, harness.Fig7Benches)
+		}},
+		{"fig8", func() {
+			tbl, d := r.Fig8()
+			keep("fig8", tbl, d)
+			svgs["fig8"] = harness.Fig8SVG(d)
+		}},
+		{"fig9", func() {
+			tbl, d := r.Fig9()
+			keep("fig9", tbl, d)
+			svgs["fig9"] = harness.BarSVG("Figure 9: Combined encryption + authentication", d,
+				harness.CombinedNames(), harness.Fig9Benches)
+		}},
+		{"fig10", func() {
+			tbl, d := r.Fig10()
+			keep("fig10", tbl, d)
+			svgs["fig10"] = harness.Fig10SVG(d)
+		}},
+		{"scalars", func() { tbl, d := r.Scalars(); keep("scalars", tbl, d) }},
+		{"ablate-rsrs", func() { tbl, d := r.AblateRSRs(); keep("ablate-rsrs", tbl, d) }},
+		{"ablate-minors", func() { tbl, d := r.AblateMinorBits(); keep("ablate-minors", tbl, d) }},
+		{"ablate-pages", func() { tbl, d := r.AblatePageSize(); keep("ablate-pages", tbl, d) }},
+		{"ablate-maccache", func() { tbl, d := r.AblateMacCache(); keep("ablate-maccache", tbl, d) }},
+		{"ablate-charge", func() { tbl, d := r.AblateMonoCharge(); keep("ablate-charge", tbl, d) }},
+	}
+	want := func(name string) bool {
+		if *all {
+			// -all regenerates the paper's content; ablations are
+			// explicit extensions (-ablate).
+			switch name {
+			case "ablate-rsrs", "ablate-minors", "ablate-pages", "ablate-maccache", "ablate-charge":
+				return false // explicit extensions (-ablate), not paper content
+			}
+			return true
+		}
+		switch name {
+		case "fig4", "fig5", "fig7", "fig8", "fig9", "fig10":
+			return *fig != 0 && fmt.Sprintf("fig%d", *fig) == name
+		case "fig6a", "fig6b":
+			return *fig == 6
+		case "table2":
+			return *table == 2
+		case "scalars":
+			return *scalars
+		case "ablate-rsrs", "ablate-minors", "ablate-pages", "ablate-maccache", "ablate-charge":
+			return *ablate
+		}
+		return false
+	}
+	ran := 0
+	for _, j := range jobs {
+		if !want(j.name) {
+			continue
+		}
+		t0 := time.Now()
+		j.run()
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", j.name, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "paperbench: nothing selected (use -all, -fig N, -table 2, or -scalars)")
+		os.Exit(2)
+	}
+	if *svgDir != "" {
+		for name, doc := range svgs {
+			path := fmt.Sprintf("%s/%s.svg", *svgDir, name)
+			if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("%d SVG figures written to %s\n", len(svgs), *svgDir)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(structured); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("structured results written to %s\n", *jsonOut)
+	}
+}

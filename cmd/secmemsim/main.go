@@ -1,0 +1,139 @@
+// Command secmemsim runs one secure-memory simulation: a synthetic SPEC
+// 2000-like workload over a configurable protection scheme, printing IPC,
+// normalized IPC, and the controller/counter/re-encryption statistics.
+//
+// Examples:
+//
+//	secmemsim -bench swim -enc split -auth gcm
+//	secmemsim -bench mcf -enc mono -bits 16 -auth sha -shalat 320 -req safe
+//	secmemsim -bench art -enc direct -instr 5000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"secmem/internal/config"
+	"secmem/internal/core"
+	"secmem/internal/harness"
+	"secmem/internal/stats"
+	"secmem/internal/trace"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "swim", "workload: one of the 21 SPEC 2000 profiles, or 'all'")
+		enc      = flag.String("enc", "split", "encryption: none|direct|mono|split|global")
+		bits     = flag.Int("bits", 64, "monolithic/global counter bits (8|16|32|64)")
+		auth     = flag.String("auth", "gcm", "authentication: none|sha|gcm")
+		shaLat   = flag.Uint64("shalat", 320, "SHA-1 engine latency in cycles")
+		req      = flag.String("req", "commit", "authentication requirement: lazy|commit|safe")
+		macBits  = flag.Int("mac", 64, "MAC size in bits (32|64|128)")
+		parallel = flag.Bool("parallel", true, "authenticate Merkle levels in parallel")
+		ctrAuth  = flag.Bool("ctrauth", true, "authenticate counters on fetch (Section 4.3 fix)")
+		sncKB    = flag.Int("snc", 32, "counter cache size in KB")
+		instr    = flag.Uint64("instr", 2_000_000, "instructions to simulate")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		timeline = flag.Bool("timeline", false, "print the Figure 1 L2-miss timelines for this configuration and exit")
+		overhead = flag.Bool("overhead", false, "print memory space overheads for the paper's schemes and exit")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	switch strings.ToLower(*enc) {
+	case "none":
+		cfg.Enc = config.EncNone
+	case "direct":
+		cfg.Enc = config.EncDirect
+	case "mono":
+		cfg.Enc = config.EncCounterMono
+	case "split":
+		cfg.Enc = config.EncCounterSplit
+	case "global":
+		cfg.Enc = config.EncCounterGlobal
+	default:
+		fatalf("unknown -enc %q", *enc)
+	}
+	cfg.MonoCounterBits = *bits
+	switch strings.ToLower(*auth) {
+	case "none":
+		cfg.Auth = config.AuthNone
+		cfg.AuthenticateCounters = false
+	case "sha":
+		cfg.Auth = config.AuthSHA1
+	case "gcm":
+		cfg.Auth = config.AuthGCM
+	default:
+		fatalf("unknown -auth %q", *auth)
+	}
+	cfg.SHA1Latency = *shaLat
+	switch strings.ToLower(*req) {
+	case "lazy":
+		cfg.Req = config.AuthLazy
+	case "commit":
+		cfg.Req = config.AuthCommit
+	case "safe":
+		cfg.Req = config.AuthSafe
+	default:
+		fatalf("unknown -req %q", *req)
+	}
+	cfg.MACBits = *macBits
+	cfg.ParallelAuth = *parallel
+	if cfg.Auth != config.AuthNone {
+		cfg.AuthenticateCounters = *ctrAuth
+	}
+	cfg.CounterCache.SizeBytes = *sncKB << 10
+	if err := cfg.Validate(); err != nil {
+		fatalf("invalid configuration: %v", err)
+	}
+	if *timeline {
+		fmt.Print(core.Figure1Table(cfg).String())
+		return
+	}
+	if *overhead {
+		schemes := map[string]config.SystemConfig{"current": cfg}
+		order := []string{"current"}
+		for _, name := range harness.CombinedNames() {
+			schemes[name] = harness.Combined(name)
+			order = append(order, name)
+		}
+		fmt.Print(core.OverheadTable(schemes, order).String())
+		return
+	}
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = trace.Names()
+	} else if _, ok := trace.Profiles()[*bench]; !ok {
+		fatalf("unknown benchmark %q; available: %s, all", *bench, strings.Join(trace.Names(), " "))
+	}
+
+	r := harness.New(harness.Options{Instructions: *instr, Seed: *seed, Benches: benches})
+	tbl := stats.Table{
+		Title: fmt.Sprintf("secmemsim: %s, %s requirement, %d instructions", cfg.SchemeName(), cfg.Req, *instr),
+		Cols: []string{"bench", "IPC", "norm IPC", "L2 miss", "ctr hit", "timely pad",
+			"page reencs", "mac fetch", "tamper"},
+	}
+	for _, b := range benches {
+		base := r.Baseline(b)
+		out := r.Run(b, cfg)
+		tbl.AddRow(b,
+			stats.F(out.IPC),
+			stats.F(out.IPC/base),
+			fmt.Sprintf("%d", out.CPU.L2Misses),
+			stats.Pct(out.CtrHitRate()),
+			stats.Pct(out.TimelyPadRate()),
+			fmt.Sprintf("%d", out.RSR.PageReencs),
+			fmt.Sprintf("%d", out.Ctl.MacFetches),
+			fmt.Sprintf("%d", out.Ctl.TamperDetected),
+		)
+	}
+	fmt.Print(tbl.String())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "secmemsim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,60 @@
+// Quickstart: stand up a secure memory system with the paper's preferred
+// configuration (split counters + GCM authentication over a Merkle tree),
+// write and read real data through it, and look at what the protection
+// machinery did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secmem/internal/cache"
+	"secmem/internal/config"
+	"secmem/internal/core"
+)
+
+func main() {
+	// The paper's machine (Section 5), shrunk to a 4 MB protected space so
+	// the functional (real-crypto) mode stays instant.
+	cfg := config.Default()
+	cfg.MemBytes = 4 << 20
+	cfg.L2 = cache.Config{Name: "L2", SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64, LatencyCycles: 10}
+	cfg.CounterCache = cache.Config{Name: "SNC", SizeBytes: 8 << 10, Ways: 8, BlockBytes: 64, LatencyCycles: 2}
+	cfg.Functional = true // move real bytes, compute real AES/GHASH
+
+	mem, err := core.NewMemSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("secure memory: %s, %s requirement, %d-bit MACs, %d-level Merkle tree\n\n",
+		cfg.SchemeName(), cfg.Req, cfg.MACBits, mem.Controller().Layout().Geo.NumLevels())
+
+	// Write a secret, then read it back through the full path.
+	secret := []byte("attack at dawn — memo 7, eyes only")
+	done, err := mem.WriteBytes(0, 0x1000, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("write of %d bytes complete at cycle %d\n", len(secret), done)
+
+	// Push everything off-chip: the data now lives in DRAM only as
+	// AES-counter-mode ciphertext with a GCM MAC in the tree.
+	mem.Drain(done)
+	var ct [64]byte
+	mem.Controller().DRAM().ReadBlock(0x1000, ct[:])
+	fmt.Printf("DRAM ciphertext:  %x...\n", ct[:24])
+
+	buf := make([]byte, len(secret))
+	res, err := mem.ReadBytes(done+1000, 0x1000, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back:        %q\n", buf)
+	fmt.Printf("data ready at cycle %d, authenticated at cycle %d (+%d cycles of GCM+tree)\n\n",
+		res.DataReady, res.AuthDone, res.AuthDone-res.DataReady)
+
+	st := mem.Controller().Stats
+	fmt.Printf("controller: %d fills, %d write-backs, %d counter fetches, %d Merkle node fetches\n",
+		st.Fills, st.WriteBacks, st.CtrFetches, st.MacFetches)
+	fmt.Printf("tamper events: %d (an honest run must report zero)\n", st.TamperDetected)
+}

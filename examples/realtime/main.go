@@ -1,0 +1,87 @@
+// Realtime contrasts the two counter-overflow strategies from the paper's
+// real-time-systems argument (Sections 1-2): small monolithic counters
+// force whole-memory re-encryption "freezes" when any counter wraps, while
+// split counters re-encrypt one 4 KB page in the background under an RSR
+// and never stall the processor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secmem/internal/cache"
+	"secmem/internal/config"
+	"secmem/internal/core"
+	"secmem/internal/cpu"
+	"secmem/internal/trace"
+)
+
+func run(cfg config.SystemConfig, bench string, instr uint64) (*core.MemSystem, cpu.Result) {
+	mem, err := core.NewMemSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := trace.NewGenerator(trace.Get(bench), 1)
+	res := cpu.New(cfg, mem).Run(gen, instr)
+	return mem, res
+}
+
+func main() {
+	const bench = "twolf" // concentrated write set: fast counters
+	const instr = 24_000_000
+
+	// Keep the paper's 512 MB memory (the workload profiles assume it);
+	// shrink the L2 and minor counters so overflows happen at demo scale.
+	base := config.Default()
+	base.Auth = config.AuthNone
+	base.AuthenticateCounters = false
+	base.L2 = cache.Config{Name: "L2", SizeBytes: 128 << 10, Ways: 8, BlockBytes: 64, LatencyCycles: 10}
+
+	mono := base
+	mono.Enc = config.EncCounterMono
+	mono.MonoCounterBits = 8
+
+	split := base
+	split.Enc = config.EncCounterSplit
+	split.MinorBits = 4 // overflow every 16 write-backs: worst case for split
+
+	fmt.Printf("workload: %s, %d instructions, 512 MB protected memory\n\n", bench, instr)
+
+	memM, resM := run(mono, bench, instr)
+	stM := memM.Controller().Stats
+	freezeSec := float64(stM.FreezeCycles) / (mono.ClockGHz * 1e9)
+	fmt.Println("Mono8b (8-bit monolithic counters):")
+	fmt.Printf("  whole-memory re-encryptions: %d\n", stM.FullReencEvents)
+	fmt.Printf("  total freeze time if charged: %d cycles (%.1f ms) — the\n",
+		stM.FreezeCycles, freezeSec*1e3)
+	fmt.Printf("  processor would be unresponsive for %.2f ms per event,\n",
+		freezeSec*1e3/float64(max(1, stM.FullReencEvents)))
+	fmt.Println("  which is what breaks real-time deadlines.")
+	fmt.Printf("  IPC (freeze NOT charged, paper methodology): %.3f\n\n", resM.IPC())
+
+	memS, resS := run(split, bench, instr)
+	rsr := memS.Controller().RSRs().Stats
+	fmt.Println("Split (4-bit minors + 64-bit majors, 8 RSRs):")
+	fmt.Printf("  page re-encryptions: %d, all in the background\n", rsr.PageReencs)
+	fmt.Printf("  mean page re-encryption: %.0f cycles (%.2f us)\n",
+		rsr.MeanCycles(), rsr.MeanCycles()/(split.ClockGHz*1e3))
+	fmt.Printf("  longest: %d cycles; max concurrent: %d of %d RSRs\n",
+		rsr.MaxCycles, rsr.MaxConcurrent, split.RSRs)
+	fmt.Printf("  write-back stall cycles caused: %d\n", rsr.StallCycles)
+	fmt.Printf("  blocks found on-chip and handled lazily: %s\n",
+		pct(rsr.OnChipFraction()))
+	fmt.Printf("  IPC (re-encryption fully charged): %.3f\n\n", resS.IPC())
+
+	fmt.Println("The split scheme's worst pause is microseconds of extra memory")
+	fmt.Println("traffic overlapped with execution; the monolithic scheme's is a")
+	fmt.Println("millisecond-scale freeze — the paper's Section 2 argument.")
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,96 @@
+// Tamperdetect: mount the active hardware attacks the paper defends
+// against — spot tampering, block splicing, and replay — against the
+// simulated DRAM, and watch GCM + Merkle-tree authentication catch each
+// one.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"secmem/internal/cache"
+	"secmem/internal/config"
+	"secmem/internal/core"
+	"secmem/internal/dram"
+)
+
+func newSystem() *core.MemSystem {
+	cfg := config.Default()
+	cfg.MemBytes = 4 << 20
+	cfg.L2 = cache.Config{Name: "L2", SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64, LatencyCycles: 10}
+	cfg.CounterCache = cache.Config{Name: "SNC", SizeBytes: 8 << 10, Ways: 8, BlockBytes: 64, LatencyCycles: 2}
+	cfg.Functional = true
+	mem, err := core.NewMemSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return mem
+}
+
+func report(name string, mem *core.MemSystem, before uint64) {
+	after := mem.Controller().Stats.TamperDetected
+	verdict := "NOT DETECTED (!!)"
+	if after > before {
+		verdict = fmt.Sprintf("DETECTED (%d authentication failure(s))", after-before)
+	}
+	fmt.Printf("%-28s %s\n", name+":", verdict)
+}
+
+func main() {
+	fmt.Println("Active attacks against off-chip memory (Split+GCM, 64-bit MACs)")
+	fmt.Println()
+
+	// --- Attack 1: spot tampering (bit flip) -----------------------------
+	mem := newSystem()
+	mem.WriteBytes(0, 0x2000, bytes.Repeat([]byte{0xAA}, 64))
+	mem.Drain(100)
+	atk := dram.NewAttacker(mem.Controller().DRAM())
+	before := mem.Controller().Stats.TamperDetected
+	atk.FlipBit(0x2000, 300)
+	mem.ReadBytes(1000, 0x2000, make([]byte, 64))
+	report("bit flip in ciphertext", mem, before)
+
+	// --- Attack 2: splice (copy block A over block B) ---------------------
+	mem = newSystem()
+	mem.WriteBytes(0, 0x2000, bytes.Repeat([]byte{1}, 64))
+	mem.WriteBytes(0, 0x3000, bytes.Repeat([]byte{2}, 64))
+	mem.Drain(100)
+	atk = dram.NewAttacker(mem.Controller().DRAM())
+	before = mem.Controller().Stats.TamperDetected
+	atk.Splice(0x2000, 0x3000)
+	mem.ReadBytes(1000, 0x3000, make([]byte, 64))
+	report("splice (relocation)", mem, before)
+
+	// --- Attack 3: replay (roll data+MAC back together) -------------------
+	// The Merkle tree exists precisely for this one: the old data and its
+	// old MAC are self-consistent, but the parent level has moved on.
+	mem = newSystem()
+	mem.WriteBytes(0, 0x2000, []byte("account balance: $1,000,000.00"))
+	mem.Drain(100)
+	atk = dram.NewAttacker(mem.Controller().DRAM())
+	atk.Record(0x2000) // snapshot the million-dollar version
+	mem.WriteBytes(200, 0x2000, []byte("account balance: $0.37        "))
+	mem.Drain(300)
+	before = mem.Controller().Stats.TamperDetected
+	atk.Replay(0x2000)
+	mem.ReadBytes(1000, 0x2000, make([]byte, 64))
+	report("replay (rollback)", mem, before)
+
+	// --- Honest control ----------------------------------------------------
+	mem = newSystem()
+	mem.WriteBytes(0, 0x2000, bytes.Repeat([]byte{7}, 64))
+	mem.Drain(100)
+	before = mem.Controller().Stats.TamperDetected
+	mem.ReadBytes(1000, 0x2000, make([]byte, 64))
+	if mem.Controller().Stats.TamperDetected == before {
+		fmt.Printf("%-28s no false positive\n", "honest read (control):")
+	} else {
+		fmt.Printf("%-28s FALSE POSITIVE (!!)\n", "honest read (control):")
+	}
+
+	fmt.Println()
+	fmt.Println("Lazy vs safe: with the lazy requirement the paper warns that an")
+	fmt.Println("attack is detected only after the tainted data was already used;")
+	fmt.Println("the safe requirement blocks the load until the check completes.")
+}

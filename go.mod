@@ -1,0 +1,3 @@
+module secmem
+
+go 1.22

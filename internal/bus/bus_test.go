@@ -1,0 +1,71 @@
+package bus
+
+import "testing"
+
+func TestOccupancy(t *testing.T) {
+	b := New(DefaultConfig())
+	cases := []struct {
+		bytes int
+		want  uint64
+	}{
+		{0, 0}, {1, 8}, {16, 8}, {17, 16}, {64, 32}, {72, 40},
+	}
+	for _, c := range cases {
+		if got := b.Occupancy(c.bytes); got != c.want {
+			t.Errorf("Occupancy(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTransferQueuing(t *testing.T) {
+	b := New(DefaultConfig())
+	if got := b.Transfer(0, 64); got != 0 {
+		t.Errorf("first transfer start = %d", got)
+	}
+	if got := b.Transfer(0, 64); got != 32 {
+		t.Errorf("second transfer start = %d, want 32", got)
+	}
+	if b.Transfers != 2 || b.Bytes != 128 {
+		t.Errorf("stats = %d transfers, %d bytes", b.Transfers, b.Bytes)
+	}
+	if b.QueueDelay() != 32 {
+		t.Errorf("queue delay = %d, want 32", b.QueueDelay())
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	// 100 back-to-back 64-byte transfers at cycle 0 must take 100*32 cycles
+	// of bus occupancy: the bus is the bandwidth bound.
+	b := New(DefaultConfig())
+	var last uint64
+	for i := 0; i < 100; i++ {
+		last = b.Transfer(0, 64)
+	}
+	if want := uint64(99 * 32); last != want {
+		t.Errorf("last start = %d, want %d", last, want)
+	}
+	if b.BusyCycles() != 100*32 {
+		t.Errorf("busy = %d", b.BusyCycles())
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(DefaultConfig())
+	b.Transfer(0, 64)
+	b.Reset()
+	if b.Transfers != 0 || b.BusyCycles() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if got := b.Transfer(0, 64); got != 0 {
+		t.Errorf("post-reset start = %d", got)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bus config did not panic")
+		}
+	}()
+	New(Config{WidthBytes: 0, CPUCyclesPerBusCycle: 8})
+}

@@ -1,0 +1,322 @@
+// Package cache implements the set-associative, write-back, LRU cache model
+// used for the L1 data cache, the unified L2, and the counter cache
+// (sequence-number cache) of the simulated secure processor.
+//
+// The model tracks presence, dirtiness, and replacement order only; actual
+// data bytes live in the functional layer of the memory controller. That
+// split keeps timing simulation fast while letting functional mode reuse the
+// same presence/dirty decisions the timing model makes.
+package cache
+
+import "fmt"
+
+// Config describes a cache's geometry.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	// LatencyCycles is the access (hit) latency charged by callers; the
+	// cache itself is a zero-time structural model.
+	LatencyCycles uint64
+}
+
+// Validate checks the geometry for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache %s: nonpositive geometry %+v", c.Name, c)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache %s: block size %d not a power of two", c.Name, c.BlockBytes)
+	}
+	if c.SizeBytes%(c.Ways*c.BlockBytes) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by way*block", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.BlockBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Eviction describes a block displaced by a fill.
+type Eviction struct {
+	Addr  uint64 // block-aligned address of the victim
+	Dirty bool   // victim needs a write-back
+}
+
+// Stats accumulates access statistics.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	ReadMisses  uint64
+	WriteMisses uint64
+	Fills       uint64
+	Evictions   uint64
+	DirtyEvicts uint64
+}
+
+// Accesses is total reads+writes.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Misses is total read+write misses.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// HitRate returns hits/accesses, or 1 if there were no accesses.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 1
+	}
+	return float64(a-s.Misses()) / float64(a)
+}
+
+type line struct {
+	tag    uint64
+	valid  bool
+	dirty  bool
+	pinned bool
+	lru    uint64
+}
+
+// Cache is a set-associative write-back cache. Not safe for concurrent use;
+// the simulator is single-threaded per run.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	setBits   uint
+	blockMask uint64
+	blockBits uint
+	lruClock  uint64
+
+	Stats Stats
+}
+
+// New builds a cache, panicking on invalid geometry (configuration is
+// programmer input, not runtime data).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	bb := uint(0)
+	for 1<<bb != cfg.BlockBytes {
+		bb++
+	}
+	sb := uint(0)
+	for 1<<sb != nsets {
+		sb++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(nsets - 1),
+		setBits:   sb,
+		blockMask: ^uint64(cfg.BlockBytes - 1),
+		blockBits: bb,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockAddr aligns addr down to its containing block.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr & c.blockMask }
+
+func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+	blk := addr >> c.blockBits
+	return c.sets[blk&c.setMask], blk >> c.setBits
+}
+
+// Lookup performs a demand access. On a hit it updates LRU state (and the
+// dirty bit for writes) and returns true. On a miss it returns false and
+// leaves allocation to the caller via Fill, so the caller can model the
+// fill's timing and any victim write-back first.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.lruClock++
+			set[i].lru = c.lruClock
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	if write {
+		c.Stats.WriteMisses++
+	} else {
+		c.Stats.ReadMisses++
+	}
+	return false
+}
+
+// Fill allocates addr's block (which must not already be present), marking
+// it dirty if requested, and reports the evicted victim if any.
+func (c *Cache) Fill(addr uint64, dirty bool) (ev Eviction, evicted bool) {
+	set, tag := c.locate(addr)
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			panic(fmt.Sprintf("cache %s: Fill of resident block %#x", c.cfg.Name, addr))
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim < 0 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	l := &set[victim]
+	if l.valid && l.pinned {
+		// Fall back to the least recently used unpinned way.
+		victim = -1
+		for i := range set {
+			if set[i].pinned {
+				continue
+			}
+			if victim < 0 || set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			panic(fmt.Sprintf("cache %s: all ways pinned in set of %#x", c.cfg.Name, addr))
+		}
+		l = &set[victim]
+	}
+	if l.valid {
+		ev = Eviction{Addr: c.reconstruct(addr, l.tag), Dirty: l.dirty}
+		evicted = true
+		c.Stats.Evictions++
+		if l.dirty {
+			c.Stats.DirtyEvicts++
+		}
+	}
+	c.lruClock++
+	*l = line{tag: tag, valid: true, dirty: dirty, lru: c.lruClock}
+	c.Stats.Fills++
+	return ev, evicted
+}
+
+// reconstruct rebuilds a victim's block address from its tag and the set
+// index shared with addr.
+func (c *Cache) reconstruct(addr, tag uint64) uint64 {
+	setIdx := (addr >> c.blockBits) & c.setMask
+	return (tag<<c.setBits | setIdx) << c.blockBits
+}
+
+// Contains reports presence without touching LRU or stats. The RSR file
+// uses this to check whether a page's blocks are already on-chip, and the
+// Merkle walker to find the first cached tree node.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// SetDirty marks a resident block dirty without counting an access,
+// reporting whether the block was present. Page re-encryption uses this for
+// its "lazy" handling of on-chip blocks (Section 4.2): the block is simply
+// dirtied so its eventual natural write-back re-encrypts it.
+func (c *Cache) SetDirty(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// CleanLine clears the dirty bit of a resident block, reporting presence.
+func (c *Cache) CleanLine(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = false
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes a block, reporting whether it was present and dirty.
+// Pinned blocks are removed too (the pin is a replacement hint, not a lock
+// against explicit invalidation).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			present, dirty = true, set[i].dirty
+			set[i] = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Pin protects a resident block from replacement until Unpin. The memory
+// system pins the demand block while its own miss handling (Merkle fills,
+// victim write-backs) churns the cache — the structural analogue of an
+// MSHR holding the line. Reports whether the block was present.
+func (c *Cache) Pin(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].pinned = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unpin releases a pinned block, reporting whether it was present.
+func (c *Cache) Unpin(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].pinned = false
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach visits every resident block. Whole-memory re-encryption and the
+// functional flush path use it.
+func (c *Cache) ForEach(fn func(addr uint64, dirty bool)) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := c.sets[si][wi]
+			if l.valid {
+				addr := (l.tag<<c.setBits | uint64(si)) << c.blockBits
+				fn(addr, l.dirty)
+			}
+		}
+	}
+}
+
+// ResidentBlocks counts valid lines.
+func (c *Cache) ResidentBlocks() int {
+	n := 0
+	c.ForEach(func(uint64, bool) { n++ })
+	return n
+}

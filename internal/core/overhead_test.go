@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"secmem/internal/config"
+)
+
+func TestOverheadSplitIsOneBytePerBlock(t *testing.T) {
+	cfg := config.Default()
+	cfg.Auth = config.AuthNone
+	o := Overhead(cfg)
+	// Split counters: one 64-byte counter block per 4 KB page = 1/64 of
+	// data = "one byte of counters per block of data" (Section 4.1).
+	if want := cfg.MemBytes / 64; o.CounterBytes != want {
+		t.Errorf("split counter bytes = %d, want %d", o.CounterBytes, want)
+	}
+	if o.MacBytes != 0 || o.TreeLevels != 0 {
+		t.Error("no-auth config has MAC overhead")
+	}
+}
+
+func TestOverheadMonoScalesWithBits(t *testing.T) {
+	mk := func(bits int) uint64 {
+		cfg := config.Default()
+		cfg.Enc = config.EncCounterMono
+		cfg.MonoCounterBits = bits
+		cfg.Auth = config.AuthNone
+		return Overhead(cfg).CounterBytes
+	}
+	if mk(64) != 8*mk(8) {
+		t.Errorf("64-bit counters (%d) not 8x the 8-bit footprint (%d)", mk(64), mk(8))
+	}
+	// Mono64: 8 bytes per 64-byte block = 1/8 of memory; the counter-
+	// prediction discussion quotes exactly this.
+	cfg := config.Default()
+	if mk(64) != cfg.MemBytes/8 {
+		t.Errorf("mono64 overhead = %d, want memBytes/8", mk(64))
+	}
+}
+
+func TestOverheadMacSizesTree(t *testing.T) {
+	mk := func(macBits int) OverheadReport {
+		cfg := config.Default()
+		cfg.MACBits = macBits
+		return Overhead(cfg)
+	}
+	o64, o128 := mk(64), mk(128)
+	if o128.MacBytes <= o64.MacBytes {
+		t.Error("128-bit MACs not larger than 64-bit")
+	}
+	if o128.TreeLevels <= o64.TreeLevels {
+		t.Error("128-bit MAC tree not deeper")
+	}
+	// The paper's scale check: 128-bit MACs cost roughly a third of the
+	// protected space (1/4 + 1/16 + ... over data+counters).
+	frac := float64(o128.MacBytes) / float64(o128.DataBytes)
+	if frac < 0.3 || frac > 0.45 {
+		t.Errorf("128-bit MAC overhead fraction = %.2f, want ~1/3", frac)
+	}
+}
+
+func TestOverheadTableRenders(t *testing.T) {
+	schemes := map[string]config.SystemConfig{
+		"Split+GCM": config.Default(),
+		"base":      config.Baseline(),
+	}
+	tbl := OverheadTable(schemes, []string{"Split+GCM", "base"})
+	out := tbl.String()
+	if !strings.Contains(out, "Split+GCM") || !strings.Contains(out, "tree levels") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	cfg := config.Default()
+	rows := Figure1(cfg)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	direct, hit, miss := rows[0], rows[1], rows[2]
+	// Direct: usable strictly after arrival (decrypt serialized).
+	if direct.UsableAt <= direct.DataAt {
+		t.Error("direct decryption not serialized after arrival")
+	}
+	// Counter hit: pad beats the data, usable ~ arrival.
+	if hit.PadAt >= hit.DataAt {
+		t.Errorf("hit-case pad (%d) not overlapped with fetch (%d)", hit.PadAt, hit.DataAt)
+	}
+	if hit.UsableAt > direct.UsableAt {
+		t.Error("counter hit slower than direct")
+	}
+	// Counter miss: the second fetch dominates; worse than direct.
+	if miss.UsableAt <= direct.UsableAt {
+		t.Errorf("counter miss (%d) not worse than direct (%d)", miss.UsableAt, direct.UsableAt)
+	}
+	if got := Figure1Table(cfg).String(); !strings.Contains(got, "Fig 1b") {
+		t.Error("figure 1 table missing cases")
+	}
+}

@@ -1,0 +1,126 @@
+package counterstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the byte-level serialization of counter blocks used
+// by functional mode: the processor trusts what it reads from memory, so the
+// simulated DRAM must hold real counter bytes that can be rolled back by the
+// attacker — that is exactly the Section 4.3 counter-replay surface.
+//
+// A split counter block packs the 64-bit major counter followed by
+// PageBlocks minor counters of MinorBits each, bit-contiguously — for the
+// paper's 7-bit minors and 64-block pages that is exactly 512 bits, one
+// cache block. Monolithic blocks pack 512/Bits counters of Bits bits.
+
+// PackBlock serializes the counters stored in the counter block at
+// ctrBlock into a 64-byte image.
+func (s *Store) PackBlock(ctrBlock uint64) [BlockSize]byte {
+	var out [BlockSize]byte
+	if ctrBlock >= s.cfg.Regions.DerivBase {
+		// Derivative counters: 32 x 16-bit values (low 16 bits of the
+		// stored counter; the on-chip value is authoritative).
+		first := s.cfg.Regions.DirectBase + (ctrBlock-s.cfg.Regions.DerivBase)/BlockSize*derivPerBlock*BlockSize
+		for i := 0; i < derivPerBlock; i++ {
+			binary.BigEndian.PutUint16(out[i*2:], uint16(s.values[first+uint64(i)*BlockSize]))
+		}
+		return out
+	}
+	if ctrBlock < s.cfg.Regions.DirectBase {
+		panic(fmt.Sprintf("counterstore: %#x is not a counter block", ctrBlock))
+	}
+	idx := (ctrBlock - s.cfg.Regions.DirectBase) / BlockSize
+	switch s.cfg.Org {
+	case OrgSplit:
+		page := idx * uint64(s.cfg.PageBlocks) * BlockSize
+		bw := newBitWriter(out[:])
+		bw.write(s.majors[page], 64)
+		for i := 0; i < s.cfg.PageBlocks; i++ {
+			bw.write(s.minors[page+uint64(i)*BlockSize], uint(s.cfg.MinorBits))
+		}
+		return out
+	default:
+		perBlock := uint64(512 / s.counterBits())
+		first := idx * perBlock * BlockSize
+		bw := newBitWriter(out[:])
+		for i := uint64(0); i < perBlock; i++ {
+			bw.write(s.values[first+i*BlockSize], uint(s.counterBits()))
+		}
+		return out
+	}
+}
+
+// UnpackBlock deserializes a 64-byte counter block image into the store,
+// overwriting the affected counters. This is the "trust what memory says"
+// step a real memory controller performs on a counter-cache fill; calling it
+// with attacker-modified bytes reproduces the counter-replay vulnerability
+// when counter authentication is disabled.
+func (s *Store) UnpackBlock(ctrBlock uint64, img []byte) {
+	if len(img) < BlockSize {
+		panic("counterstore: short counter block image")
+	}
+	if ctrBlock >= s.cfg.Regions.DerivBase {
+		first := s.cfg.Regions.DirectBase + (ctrBlock-s.cfg.Regions.DerivBase)/BlockSize*derivPerBlock*BlockSize
+		for i := 0; i < derivPerBlock; i++ {
+			s.values[first+uint64(i)*BlockSize] = uint64(binary.BigEndian.Uint16(img[i*2:]))
+		}
+		return
+	}
+	if ctrBlock < s.cfg.Regions.DirectBase {
+		panic(fmt.Sprintf("counterstore: %#x is not a counter block", ctrBlock))
+	}
+	idx := (ctrBlock - s.cfg.Regions.DirectBase) / BlockSize
+	switch s.cfg.Org {
+	case OrgSplit:
+		page := idx * uint64(s.cfg.PageBlocks) * BlockSize
+		br := newBitReader(img)
+		s.majors[page] = br.read(64)
+		for i := 0; i < s.cfg.PageBlocks; i++ {
+			s.minors[page+uint64(i)*BlockSize] = br.read(uint(s.cfg.MinorBits))
+		}
+	default:
+		perBlock := uint64(512 / s.counterBits())
+		first := idx * perBlock * BlockSize
+		br := newBitReader(img)
+		for i := uint64(0); i < perBlock; i++ {
+			s.values[first+i*BlockSize] = br.read(uint(s.counterBits()))
+		}
+	}
+}
+
+type bitWriter struct {
+	buf []byte
+	pos uint // bit position
+}
+
+func newBitWriter(buf []byte) *bitWriter { return &bitWriter{buf: buf} }
+
+func (w *bitWriter) write(v uint64, bits uint) {
+	for i := int(bits) - 1; i >= 0; i-- {
+		if v>>uint(i)&1 == 1 {
+			w.buf[w.pos/8] |= 1 << (7 - w.pos%8)
+		}
+		w.pos++
+	}
+}
+
+type bitReader struct {
+	buf []byte
+	pos uint
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) read(bits uint) uint64 {
+	var v uint64
+	for i := uint(0); i < bits; i++ {
+		v <<= 1
+		if r.buf[r.pos/8]>>(7-r.pos%8)&1 == 1 {
+			v |= 1
+		}
+		r.pos++
+	}
+	return v
+}

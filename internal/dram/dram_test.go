@@ -1,0 +1,136 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func funcDRAM() *DRAM {
+	cfg := DefaultConfig()
+	cfg.SizeBytes = 1 << 20
+	cfg.Functional = true
+	return New(cfg)
+}
+
+func TestTimingLatency(t *testing.T) {
+	d := New(DefaultConfig())
+	if got := d.AccessRead(1000); got != 1200 {
+		t.Errorf("read done = %d, want 1200", got)
+	}
+	// Device-side service interval staggers same-cycle accesses.
+	if got := d.AccessRead(1000); got != 1216 {
+		t.Errorf("second read done = %d, want 1216", got)
+	}
+	if d.Reads != 2 {
+		t.Errorf("reads = %d", d.Reads)
+	}
+}
+
+func TestFunctionalStore(t *testing.T) {
+	d := funcDRAM()
+	buf := make([]byte, BlockSize)
+	d.ReadBlock(0x1000, buf)
+	if !bytes.Equal(buf, make([]byte, BlockSize)) {
+		t.Error("unwritten block not zero")
+	}
+	want := bytes.Repeat([]byte{0xAB}, BlockSize)
+	d.WriteBlock(0x1000, want)
+	d.ReadBlock(0x1000, buf)
+	if !bytes.Equal(buf, want) {
+		t.Error("read != write")
+	}
+	if d.TouchedBlocks() != 1 {
+		t.Errorf("touched = %d", d.TouchedBlocks())
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	d := funcDRAM()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned access did not panic")
+		}
+	}()
+	d.ReadBlock(0x1001, make([]byte, BlockSize))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := funcDRAM()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access did not panic")
+		}
+	}()
+	d.WriteBlock(1<<20, make([]byte, BlockSize))
+}
+
+func TestFunctionalDisabledPanics(t *testing.T) {
+	d := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("functional read on timing-only DRAM did not panic")
+		}
+	}()
+	d.ReadBlock(0, make([]byte, BlockSize))
+}
+
+func TestAttackerFlipAndOverwrite(t *testing.T) {
+	d := funcDRAM()
+	orig := bytes.Repeat([]byte{0x55}, BlockSize)
+	d.WriteBlock(0, orig)
+	a := NewAttacker(d)
+	a.FlipBit(0, 9)
+	got := a.Snoop(0)
+	if got[1] != 0x55^0x02 {
+		t.Errorf("bit flip wrong: %#x", got[1])
+	}
+	a.Overwrite(0, make([]byte, BlockSize))
+	if got := a.Snoop(0); got != [BlockSize]byte{} {
+		t.Error("overwrite failed")
+	}
+}
+
+func TestAttackerReplay(t *testing.T) {
+	d := funcDRAM()
+	v1 := bytes.Repeat([]byte{1}, BlockSize)
+	v2 := bytes.Repeat([]byte{2}, BlockSize)
+	d.WriteBlock(64, v1)
+	a := NewAttacker(d)
+	if a.Replay(64) {
+		t.Error("replay without snapshot succeeded")
+	}
+	a.Record(64)
+	d.WriteBlock(64, v2) // victim updates the block
+	if !a.Replay(64) {
+		t.Fatal("replay failed")
+	}
+	got := a.Snoop(64)
+	if !bytes.Equal(got[:], v1) {
+		t.Error("replay did not restore old value")
+	}
+}
+
+func TestAttackerSpliceAndCorrupt(t *testing.T) {
+	d := funcDRAM()
+	v := bytes.Repeat([]byte{7}, BlockSize)
+	d.WriteBlock(0, v)
+	a := NewAttacker(d)
+	a.Splice(0, 128)
+	if got := a.Snoop(128); !bytes.Equal(got[:], v) {
+		t.Error("splice did not copy block")
+	}
+	a.Corrupt(0, rand.New(rand.NewSource(1)))
+	if got := a.Snoop(0); bytes.Equal(got[:], v) {
+		t.Error("corrupt left block unchanged")
+	}
+}
+
+func TestAttackerRequiresFunctional(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attacker on timing-only DRAM did not panic")
+		}
+	}()
+	NewAttacker(New(DefaultConfig()))
+}

@@ -1,0 +1,95 @@
+package gcmmode
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	stdcipher "crypto/cipher"
+	"crypto/sha1"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secmem/internal/aescipher"
+	"secmem/internal/sha1sum"
+)
+
+// These differential tests cross-check the from-scratch crypto against the
+// standard library's implementations on random inputs. The production code
+// never imports crypto/*; the stdlib is used here purely as an independent
+// oracle.
+
+func TestAESMatchesStdlib(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		ours := aescipher.MustNew(key[:])
+		std, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		var a, b [16]byte
+		ours.Encrypt(a[:], block[:])
+		std.Encrypt(b[:], block[:])
+		if a != b {
+			return false
+		}
+		ours.Decrypt(a[:], a[:])
+		return a == block
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAES256MatchesStdlib(t *testing.T) {
+	f := func(key [32]byte, block [16]byte) bool {
+		ours := aescipher.MustNew(key[:])
+		std, _ := stdaes.NewCipher(key[:])
+		var a, b [16]byte
+		ours.Encrypt(a[:], block[:])
+		std.Encrypt(b[:], block[:])
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCMSealMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		key := make([]byte, 16)
+		nonce := make([]byte, 12)
+		rng.Read(key)
+		rng.Read(nonce)
+		pt := make([]byte, rng.Intn(200))
+		aad := make([]byte, rng.Intn(64))
+		rng.Read(pt)
+		rng.Read(aad)
+
+		ours := NewAEAD(aescipher.MustNew(key))
+		got := ours.Seal(nonce, pt, aad)
+
+		block, _ := stdaes.NewCipher(key)
+		std, _ := stdcipher.NewGCM(block)
+		want := std.Seal(nil, nonce, pt, aad)
+
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d: Seal mismatch\nours %x\nstd  %x", i, got, want)
+		}
+		// And our Open accepts the stdlib's output.
+		back, err := ours.Open(nonce, want, aad)
+		if err != nil || !bytes.Equal(back, pt) {
+			t.Fatalf("case %d: Open of stdlib ciphertext failed: %v", i, err)
+		}
+	}
+}
+
+func TestSHA1MatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		ours := sha1sum.Sum20(data)
+		std := sha1.Sum(data)
+		return ours == std
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"secmem/internal/svgchart"
+)
+
+// This file turns figure data into the SVG charts cmd/paperbench writes
+// with -svg: grouped bars for the per-benchmark figures and lines for the
+// sweeps and trends, shaped like the paper's originals.
+
+// BarSVG renders a FigData grid as a grouped bar chart over the shown
+// benchmarks (plus the average), with schemes in the given order.
+func BarSVG(title string, data FigData, schemes, shown []string) string {
+	c := svgchart.BarChart{
+		Title:   title,
+		YLabel:  "Normalized IPC",
+		YMax:    1.1,
+		RefLine: 1.0,
+	}
+	for _, b := range append(append([]string{}, shown...), "Avg") {
+		g := svgchart.Group{Label: b}
+		for _, s := range schemes {
+			g.Bars = append(g.Bars, svgchart.Bar{Series: s, Value: data[s][b]})
+		}
+		c.Groups = append(c.Groups, g)
+	}
+	return c.Render()
+}
+
+// Fig5SVG renders the counter-cache size sweep as two lines.
+func Fig5SVG(data FigData) string {
+	c := svgchart.LineChart{
+		Title:  "Figure 5: Sensitivity to counter cache size",
+		YLabel: "Average normalized IPC",
+		YMax:   1.0,
+	}
+	var split, mono []float64
+	for _, size := range Fig5Sizes {
+		kb := size >> 10
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%dKB", kb))
+		split = append(split, data[fmt.Sprintf("split %dKB", kb)]["Avg"])
+		mono = append(mono, data[fmt.Sprintf("mono %dKB", kb)]["Avg"])
+	}
+	c.Series = []svgchart.Series{
+		{Label: "split", Points: split},
+		{Label: "mono 64b", Points: mono},
+	}
+	return c.Render()
+}
+
+// Fig6bSVG renders the hit-rate/prediction-rate trend.
+func Fig6bSVG(series [][2]float64) string {
+	c := svgchart.LineChart{
+		Title:  "Figure 6(b): Prediction and counter cache hit rate trends",
+		YLabel: "Rate",
+		YMax:   1.0,
+	}
+	var snc, pred []float64
+	for i, w := range series {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("window %d", i+1))
+		snc = append(snc, w[0])
+		pred = append(pred, w[1])
+	}
+	c.Series = []svgchart.Series{
+		{Label: "SNC hit (split)", Points: snc},
+		{Label: "prediction rate (pred)", Points: pred},
+	}
+	return c.Render()
+}
+
+// Fig8SVG renders the requirement/parallelism comparison.
+func Fig8SVG(data FigData) string {
+	c := svgchart.BarChart{
+		Title:   "Figure 8: Authentication requirements and tree parallelism",
+		YLabel:  "Average normalized IPC",
+		YMax:    1.1,
+		RefLine: 1.0,
+	}
+	for _, v := range []struct{ label, gcm, sha string }{
+		{"lazy", "GCM lazy", "SHA lazy"},
+		{"commit", "GCM commit", "SHA commit"},
+		{"safe", "GCM safe", "SHA safe"},
+		{"parallel", "GCM parallel", "SHA parallel"},
+		{"non-par.", "GCM nonpar", "SHA nonpar"},
+	} {
+		c.Groups = append(c.Groups, svgchart.Group{Label: v.label, Bars: []svgchart.Bar{
+			{Series: "GCM", Value: data[v.gcm]["Avg"]},
+			{Series: "SHA-1 (320)", Value: data[v.sha]["Avg"]},
+		}})
+	}
+	return c.Render()
+}
+
+// Fig10SVG renders the combined-scheme sensitivity grid.
+func Fig10SVG(data FigData) string {
+	c := svgchart.BarChart{
+		Title:   "Figure 10: Sensitivity of combined schemes",
+		YLabel:  "Average normalized IPC",
+		YMax:    1.1,
+		RefLine: 1.0,
+	}
+	variants := []struct{ label, key string }{
+		{"lazy", "/lazy"}, {"commit", "/commit"}, {"safe", "/safe"},
+		{"non-par.", "/nonpar"},
+		{"128b MAC", "/mac128"}, {"64b MAC", "/mac64"}, {"32b MAC", "/mac32"},
+	}
+	for _, v := range variants {
+		g := svgchart.Group{Label: v.label}
+		for _, name := range CombinedNames() {
+			g.Bars = append(g.Bars, svgchart.Bar{Series: name, Value: data[name+v.key]["Avg"]})
+		}
+		c.Groups = append(c.Groups, g)
+	}
+	return c.Render()
+}

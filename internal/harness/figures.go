@@ -1,0 +1,560 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"secmem/internal/config"
+	"secmem/internal/core"
+	"secmem/internal/cpu"
+	"secmem/internal/predictor"
+	"secmem/internal/stats"
+	"secmem/internal/trace"
+)
+
+// Fig4Benches are the benchmarks the paper plots individually in Figure 4
+// (those with at least 5% slowdown under direct encryption).
+var Fig4Benches = []string{
+	"ammp", "applu", "art", "equake", "mgrid", "swim", "wupwise",
+	"mcf", "parser", "twolf",
+}
+
+// Fig7Benches are Figure 7's individually plotted benchmarks.
+var Fig7Benches = []string{
+	"ammp", "applu", "apsi", "art", "equake", "gap", "mcf", "mgrid",
+	"parser", "swim", "twolf", "vortex", "vpr", "wupwise",
+}
+
+// Fig9Benches are Figure 9's individually plotted benchmarks.
+var Fig9Benches = []string{
+	"ammp", "applu", "apsi", "art", "equake", "mgrid", "swim", "wupwise",
+	"mcf", "parser", "twolf", "vortex", "vpr",
+}
+
+// FigData maps scheme -> benchmark (or "Avg") -> value, the structured form
+// of every figure for tests and plotting.
+type FigData map[string]map[string]float64
+
+func (d FigData) set(scheme, bench string, v float64) {
+	if d[scheme] == nil {
+		d[scheme] = make(map[string]float64)
+	}
+	d[scheme][bench] = v
+}
+
+// normGrid runs a set of schemes over all benchmarks in parallel and
+// returns normalized IPCs plus per-run outputs.
+func (r *Runner) normGrid(schemes map[string]config.SystemConfig) (FigData, map[string]map[string]RunOut) {
+	r.WarmBaselines()
+	benches := r.Opt.benches()
+	type job struct{ scheme, bench string }
+	var jobs []job
+	names := make([]string, 0, len(schemes))
+	for name := range schemes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		for _, b := range benches {
+			jobs = append(jobs, job{s, b})
+		}
+	}
+	data := make(FigData)
+	outs := make(map[string]map[string]RunOut)
+	var mu sync.Mutex
+	r.parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		out := r.Run(j.bench, schemes[j.scheme])
+		norm := 0.0
+		if base := r.Baseline(j.bench); base > 0 {
+			norm = out.IPC / base
+		}
+		mu.Lock()
+		data.set(j.scheme, j.bench, norm)
+		if outs[j.scheme] == nil {
+			outs[j.scheme] = make(map[string]RunOut)
+		}
+		outs[j.scheme][j.bench] = out
+		mu.Unlock()
+	})
+	// Averages across all benchmarks in the campaign.
+	for _, s := range names {
+		var vs []float64
+		for _, b := range benches {
+			vs = append(vs, data[s][b])
+		}
+		data.set(s, "Avg", stats.Mean(vs))
+	}
+	return data, outs
+}
+
+func gridTable(title string, data FigData, schemes, shown []string) stats.Table {
+	tbl := stats.Table{Title: title, Cols: append([]string{"bench"}, schemes...)}
+	for _, b := range append(append([]string{}, shown...), "Avg") {
+		row := []string{b}
+		for _, s := range schemes {
+			row = append(row, stats.F(data[s][b]))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// Fig4 regenerates Figure 4: normalized IPC under the six encryption
+// schemes, no authentication. Monolithic whole-memory re-encryptions are
+// counted (the numbers above the bars) but not charged, matching the
+// paper's methodology for Mono8b.
+func (r *Runner) Fig4() (stats.Table, FigData) {
+	schemes := map[string]config.SystemConfig{
+		"Split":   EncOnly(config.EncCounterSplit, 64),
+		"Mono8b":  EncOnly(config.EncCounterMono, 8),
+		"Mono16b": EncOnly(config.EncCounterMono, 16),
+		"Mono32b": EncOnly(config.EncCounterMono, 32),
+		"Mono64b": EncOnly(config.EncCounterMono, 64),
+		"Direct":  EncOnly(config.EncDirect, 64),
+	}
+	data, outs := r.normGrid(schemes)
+	order := []string{"Split", "Mono8b", "Mono16b", "Mono32b", "Mono64b", "Direct"}
+	tbl := gridTable("Figure 4: Normalized IPC, encryption schemes (no authentication)",
+		data, order, Fig4Benches)
+	var totalReencs uint64
+	for _, out := range outs["Mono8b"] {
+		totalReencs += out.Ctl.FullReencEvents
+	}
+	tbl.AddNote("Mono8b whole-memory re-encryptions observed (zero-cost, counted): %d across %d benchmarks",
+		totalReencs, len(r.Opt.benches()))
+	return tbl, data
+}
+
+// Table2Apps are the five fastest-counter applications the paper tabulates.
+var Table2Apps = []string{"applu", "art", "equake", "mcf", "twolf"}
+
+// Table2 regenerates Table 2: counter growth rates and estimated time to
+// overflow for monolithic counters of each width and the 32-bit global
+// counter.
+func (r *Runner) Table2() (stats.Table, FigData) {
+	type schemeDef struct {
+		name string
+		cfg  config.SystemConfig
+		bits int
+		// global uses total write-backs; local uses the fastest counter.
+		global bool
+	}
+	defs := []schemeDef{
+		{"Mono8b", EncOnly(config.EncCounterMono, 8), 8, false},
+		{"Mono16b", EncOnly(config.EncCounterMono, 16), 16, false},
+		{"Mono32b", EncOnly(config.EncCounterMono, 32), 32, false},
+		{"Mono64b", EncOnly(config.EncCounterMono, 64), 64, false},
+		{"Global32b", EncOnly(config.EncCounterGlobal, 32), 32, true},
+	}
+	benches := r.Opt.benches()
+	data := make(FigData)
+	overflow := make(FigData)
+	var mu sync.Mutex
+	var jobs []struct {
+		d schemeDef
+		b string
+	}
+	for _, d := range defs {
+		for _, b := range benches {
+			jobs = append(jobs, struct {
+				d schemeDef
+				b string
+			}{d, b})
+		}
+	}
+	r.parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		out := r.Run(j.b, j.d.cfg)
+		incr := out.FastestIncr
+		if j.d.global {
+			incr = out.CtrIncrements
+		}
+		rate := 0.0
+		if out.Seconds > 0 {
+			rate = float64(incr) / out.Seconds
+		}
+		ttf := math.Inf(1)
+		if rate > 0 {
+			ttf = math.Pow(2, float64(j.d.bits)) / rate
+		}
+		mu.Lock()
+		data.set(j.d.name, j.b, rate)
+		overflow.set(j.d.name, j.b, ttf)
+		mu.Unlock()
+	})
+	for _, d := range defs {
+		var rates []float64
+		for _, b := range benches {
+			rates = append(rates, data[d.name][b])
+		}
+		avg := stats.Mean(rates)
+		data.set(d.name, "Avg", avg)
+		ttf := math.Inf(1)
+		if avg > 0 {
+			ttf = math.Pow(2, float64(d.bits)) / avg
+		}
+		overflow.set(d.name, "Avg", ttf)
+	}
+
+	tbl := stats.Table{
+		Title: "Table 2: Counter growth rate and estimated time to overflow",
+		Cols: []string{"app",
+			"Mono8b r/s", "Mono16b r/s", "Mono32b r/s", "Mono64b r/s", "Global32b r/s",
+			"Mono8b ovf", "Mono16b ovf", "Mono32b ovf", "Mono64b ovf", "Global32b ovf"},
+	}
+	for _, b := range append(append([]string{}, Table2Apps...), "Avg") {
+		row := []string{b}
+		for _, d := range defs {
+			row = append(row, fmt.Sprintf("%.0f", data[d.name][b]))
+		}
+		for _, d := range defs {
+			row = append(row, stats.Duration(overflow[d.name][b]))
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.AddNote("r/s = fastest-counter increments per simulated second (Global32b: total write-backs)")
+	return tbl, overflow
+}
+
+// Fig5Sizes are the counter-cache sizes swept in Figure 5.
+var Fig5Sizes = []int{16 << 10, 32 << 10, 64 << 10, 128 << 10}
+
+// Fig5 regenerates Figure 5: average normalized IPC versus counter cache
+// size, split counters against 64-bit monolithic.
+func (r *Runner) Fig5() (stats.Table, FigData) {
+	schemes := make(map[string]config.SystemConfig)
+	for _, size := range Fig5Sizes {
+		kb := size >> 10
+		schemes[fmt.Sprintf("split %dKB", kb)] = WithCounterCache(EncOnly(config.EncCounterSplit, 64), size)
+		schemes[fmt.Sprintf("mono %dKB", kb)] = WithCounterCache(EncOnly(config.EncCounterMono, 64), size)
+	}
+	data, _ := r.normGrid(schemes)
+	tbl := stats.Table{
+		Title: "Figure 5: Sensitivity to counter cache size (average normalized IPC)",
+		Cols:  []string{"size", "split", "mono64b"},
+	}
+	for _, size := range Fig5Sizes {
+		kb := size >> 10
+		tbl.AddRow(fmt.Sprintf("%dKB", kb),
+			stats.F(data[fmt.Sprintf("split %dKB", kb)]["Avg"]),
+			stats.F(data[fmt.Sprintf("mono %dKB", kb)]["Avg"]))
+	}
+	return tbl, data
+}
+
+// Fig6aResult carries Figure 6(a)'s three bar groups.
+type Fig6aResult struct {
+	SNCHit         float64 // split: counter cache hit rate
+	SNCHitHalf     float64 // split: hit + half-miss
+	PredRate       float64 // prediction scheme: prediction rate
+	TimelySplit    float64
+	TimelyPred1    float64
+	TimelyPred2    float64
+	IPCSplit       float64
+	IPCPred1Engine float64
+	IPCPred2Engine float64
+}
+
+// Fig6a regenerates Figure 6(a): split counters versus counter prediction.
+func (r *Runner) Fig6a() (stats.Table, Fig6aResult) {
+	r.WarmBaselines()
+	benches := r.Opt.benches()
+	var mu sync.Mutex
+	var hit, hitHalf, timelySplit, ipcSplit []float64
+	var pred1Rate, timely1, ipc1 []float64
+	var timely2, ipc2 []float64
+	splitCfg := EncOnly(config.EncCounterSplit, 64)
+	r.parallelFor(len(benches), func(i int) {
+		b := benches[i]
+		out := r.Run(b, splitCfg)
+		base := r.Baseline(b)
+		p1res, p1 := r.RunPredictor(b, 1)
+		p2res, p2 := r.RunPredictor(b, 2)
+		mu.Lock()
+		hit = append(hit, out.CtrHitRate())
+		hitHalf = append(hitHalf, out.CtrHitPlusHalf())
+		timelySplit = append(timelySplit, out.TimelyPadRate())
+		ipcSplit = append(ipcSplit, out.IPC/base)
+		pred1Rate = append(pred1Rate, p1.PredictionRate())
+		timely1 = append(timely1, p1.TimelyPadRate())
+		ipc1 = append(ipc1, p1res.IPC()/base)
+		timely2 = append(timely2, p2.TimelyPadRate())
+		ipc2 = append(ipc2, p2res.IPC()/base)
+		mu.Unlock()
+	})
+	res := Fig6aResult{
+		SNCHit:         stats.Mean(hit),
+		SNCHitHalf:     stats.Mean(hitHalf),
+		PredRate:       stats.Mean(pred1Rate),
+		TimelySplit:    stats.Mean(timelySplit),
+		TimelyPred1:    stats.Mean(timely1),
+		TimelyPred2:    stats.Mean(timely2),
+		IPCSplit:       stats.Mean(ipcSplit),
+		IPCPred1Engine: stats.Mean(ipc1),
+		IPCPred2Engine: stats.Mean(ipc2),
+	}
+	tbl := stats.Table{
+		Title: "Figure 6(a): Split counters vs counter prediction (averages)",
+		Cols:  []string{"metric", "Split", "Pred", "Pred (2Eng)"},
+	}
+	tbl.AddRow("counter hit / prediction rate", stats.Pct(res.SNCHit), stats.Pct(res.PredRate), stats.Pct(res.PredRate))
+	tbl.AddRow("hit+halfMiss", stats.Pct(res.SNCHitHalf), "-", "-")
+	tbl.AddRow("timely pads", stats.Pct(res.TimelySplit), stats.Pct(res.TimelyPred1), stats.Pct(res.TimelyPred2))
+	tbl.AddRow("normalized IPC", stats.F(res.IPCSplit), stats.F(res.IPCPred1Engine), stats.F(res.IPCPred2Engine))
+	return tbl, res
+}
+
+// Fig6b regenerates Figure 6(b): counter-cache hit rate (split) and
+// prediction rate (pred) trends over execution windows.
+func (r *Runner) Fig6b(windows int) (stats.Table, [][2]float64) {
+	if windows <= 0 {
+		windows = 5
+	}
+	benches := r.Opt.benches()
+	chunk := r.Opt.Instructions / uint64(windows)
+	splitRates := make([][]float64, windows)
+	predRates := make([][]float64, windows)
+	var mu sync.Mutex
+	r.parallelFor(len(benches), func(bi int) {
+		b := benches[bi]
+		// Split machine, windowed counter-cache stats.
+		cfg := EncOnly(config.EncCounterSplit, 64)
+		mem, err := core.NewMemSystem(cfg)
+		if err != nil {
+			panic(err)
+		}
+		gen := trace.NewGenerator(trace.Get(b), r.Opt.Seed)
+		c := cpu.New(cfg, mem)
+		var prevH, prevHM, prevM uint64
+		sRates := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			c.Run(gen, uint64(w+1)*chunk)
+			st := mem.Controller().Counters().Stats
+			dh := st.Hits - prevH
+			dhm := st.HalfMisses - prevHM
+			dm := st.Misses - prevM
+			prevH, prevHM, prevM = st.Hits, st.HalfMisses, st.Misses
+			if n := dh + dhm + dm; n > 0 {
+				sRates[w] = float64(dh) / float64(n)
+			} else {
+				sRates[w] = 1
+			}
+		}
+		// Prediction machine, windowed prediction rate.
+		psys, err := predictor.New(predictor.DefaultConfig(config.Baseline(), 1))
+		if err != nil {
+			panic(err)
+		}
+		pgen := trace.NewGenerator(trace.Get(b), r.Opt.Seed)
+		pc := cpu.New(config.Baseline(), psys)
+		pRates := make([]float64, windows)
+		for w := 0; w < windows; w++ {
+			pc.Run(pgen, uint64(w+1)*chunk)
+			st := psys.SnapshotStats()
+			pRates[w] = st.PredictionRate()
+		}
+		mu.Lock()
+		for w := 0; w < windows; w++ {
+			splitRates[w] = append(splitRates[w], sRates[w])
+			predRates[w] = append(predRates[w], pRates[w])
+		}
+		mu.Unlock()
+	})
+	tbl := stats.Table{
+		Title: "Figure 6(b): Prediction and counter cache hit rate trends",
+		Cols:  []string{"window", "SNC hit (split)", "prediction rate (pred)"},
+	}
+	series := make([][2]float64, windows)
+	for w := 0; w < windows; w++ {
+		s := stats.Mean(splitRates[w])
+		p := stats.Mean(predRates[w])
+		series[w] = [2]float64{s, p}
+		tbl.AddRow(fmt.Sprintf("%d", w+1), stats.Pct(s), stats.Pct(p))
+	}
+	return tbl, series
+}
+
+// Fig7Latencies are the SHA-1 engine latencies swept in Figure 7.
+var Fig7Latencies = []uint64{80, 160, 320, 640}
+
+// Fig7 regenerates Figure 7: GCM versus SHA-1 authentication (no
+// encryption) under the commit requirement.
+func (r *Runner) Fig7() (stats.Table, FigData) {
+	schemes := map[string]config.SystemConfig{
+		"GCM": AuthOnly(config.AuthGCM, 320, config.AuthCommit, true),
+	}
+	for _, lat := range Fig7Latencies {
+		schemes[fmt.Sprintf("SHA-1 (%d)", lat)] =
+			AuthOnly(config.AuthSHA1, lat, config.AuthCommit, true)
+	}
+	data, _ := r.normGrid(schemes)
+	order := []string{"GCM", "SHA-1 (80)", "SHA-1 (160)", "SHA-1 (320)", "SHA-1 (640)"}
+	tbl := gridTable("Figure 7: Normalized IPC, memory authentication (no encryption)",
+		data, order, Fig7Benches)
+	return tbl, data
+}
+
+// Fig8 regenerates Figure 8: GCM vs SHA-1 (320-cycle) under lazy/commit/
+// safe requirements, and parallel vs sequential tree authentication.
+func (r *Runner) Fig8() (stats.Table, FigData) {
+	schemes := map[string]config.SystemConfig{
+		"GCM lazy":     AuthOnly(config.AuthGCM, 320, config.AuthLazy, true),
+		"GCM commit":   AuthOnly(config.AuthGCM, 320, config.AuthCommit, true),
+		"GCM safe":     AuthOnly(config.AuthGCM, 320, config.AuthSafe, true),
+		"SHA lazy":     AuthOnly(config.AuthSHA1, 320, config.AuthLazy, true),
+		"SHA commit":   AuthOnly(config.AuthSHA1, 320, config.AuthCommit, true),
+		"SHA safe":     AuthOnly(config.AuthSHA1, 320, config.AuthSafe, true),
+		"GCM parallel": AuthOnly(config.AuthGCM, 320, config.AuthCommit, true),
+		"GCM nonpar":   AuthOnly(config.AuthGCM, 320, config.AuthCommit, false),
+		"SHA parallel": AuthOnly(config.AuthSHA1, 320, config.AuthCommit, true),
+		"SHA nonpar":   AuthOnly(config.AuthSHA1, 320, config.AuthCommit, false),
+	}
+	data, _ := r.normGrid(schemes)
+	tbl := stats.Table{
+		Title: "Figure 8: Authentication requirements and tree parallelism (average normalized IPC)",
+		Cols:  []string{"configuration", "GCM", "SHA-1 (320)"},
+	}
+	for _, req := range []string{"lazy", "commit", "safe"} {
+		tbl.AddRow(req, stats.F(data["GCM "+req]["Avg"]), stats.F(data["SHA "+req]["Avg"]))
+	}
+	tbl.AddRow("parallel auth", stats.F(data["GCM parallel"]["Avg"]), stats.F(data["SHA parallel"]["Avg"]))
+	tbl.AddRow("non-parallel auth", stats.F(data["GCM nonpar"]["Avg"]), stats.F(data["SHA nonpar"]["Avg"]))
+	return tbl, data
+}
+
+// Fig9 regenerates Figure 9: the five combined encryption+authentication
+// schemes.
+func (r *Runner) Fig9() (stats.Table, FigData) {
+	schemes := make(map[string]config.SystemConfig)
+	for _, name := range CombinedNames() {
+		schemes[name] = Combined(name)
+	}
+	data, _ := r.normGrid(schemes)
+	tbl := gridTable("Figure 9: Normalized IPC, combined encryption + authentication",
+		data, CombinedNames(), Fig9Benches)
+	return tbl, data
+}
+
+// Fig10 regenerates Figure 10: sensitivity of the combined schemes to the
+// authentication requirement, tree parallelism, and MAC size.
+func (r *Runner) Fig10() (stats.Table, FigData) {
+	schemes := make(map[string]config.SystemConfig)
+	for _, name := range CombinedNames() {
+		for _, req := range []config.AuthReq{config.AuthLazy, config.AuthCommit, config.AuthSafe} {
+			cfg := Combined(name)
+			cfg.Req = req
+			schemes[fmt.Sprintf("%s/%s", name, req)] = cfg
+		}
+		cfg := Combined(name)
+		cfg.ParallelAuth = false
+		schemes[name+"/nonpar"] = cfg
+		for _, mac := range []int{128, 64, 32} {
+			cfg := Combined(name)
+			cfg.MACBits = mac
+			schemes[fmt.Sprintf("%s/mac%d", name, mac)] = cfg
+		}
+	}
+	data, _ := r.normGrid(schemes)
+	tbl := stats.Table{
+		Title: "Figure 10: Sensitivity of combined schemes (average normalized IPC)",
+		Cols:  append([]string{"variant"}, CombinedNames()...),
+	}
+	variants := []string{"lazy", "commit", "safe", "parallel", "nonpar.", "128b MAC", "64b MAC", "32b MAC"}
+	keys := []string{"/lazy", "/commit", "/safe", "/commit", "/nonpar", "/mac128", "/mac64", "/mac32"}
+	for vi, v := range variants {
+		row := []string{v}
+		for _, name := range CombinedNames() {
+			row = append(row, stats.F(data[name+keys[vi]]["Avg"]))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, data
+}
+
+// ScalarsResult carries the Section 6.1 scalar claims.
+type ScalarsResult struct {
+	OnChipFraction  float64 // paper: ~48%
+	MeanReencCycles float64 // paper: ~5717
+	MaxConcurrent   int     // paper: up to 3
+	StallCycles     uint64  // paper: none with 8 RSRs and 7-bit minors
+	// WorkRatio is split re-encryption work over mono8 whole-memory work,
+	// derived analytically from the measured counter-increment rates: a
+	// page re-encrypts at (fastest minor rate / 2^7) x 64 blocks, the
+	// whole memory at (fastest counter rate / 2^8) x all blocks. The paper
+	// reports ~0.3%.
+	WorkRatio float64
+	// ReencsObserved is how many page re-encryptions the stressed run
+	// (narrow minors) actually performed; the RSR behaviour scalars above
+	// are measured from it.
+	ReencsObserved uint64
+}
+
+// Scalars regenerates the Section 6.1 scalar results. The work ratio is
+// computed analytically from counter-increment rates (overflows take
+// fractions of a simulated second — Table 2 — far beyond a campaign run),
+// while the RSR behaviour numbers are measured directly from runs with
+// 4-bit minors, which overflow frequently without changing the mechanism
+// being measured.
+func (r *Runner) Scalars() (stats.Table, ScalarsResult) {
+	benches := r.Opt.benches()
+	var mu sync.Mutex
+	var onchip, meancyc []float64
+	var splitRate, monoRate float64 // re-encrypted blocks per second
+	maxConc := 0
+	var stalls, reencs uint64
+	// The stressed configuration: 4-bit minors and a small L2 (so the hot
+	// write set actually cycles through memory) make page re-encryptions
+	// happen at campaign scale.
+	stressCfg := stress(EncOnly(config.EncCounterSplit, 64))
+	stressCfg.MinorBits = 4
+	// The rate-measurement configuration is the paper's default.
+	rateCfg := EncOnly(config.EncCounterSplit, 64)
+	memBlocks := float64(rateCfg.MemBytes / 64)
+	r.parallelFor(len(benches), func(i int) {
+		b := benches[i]
+		stress := r.Run(b, stressCfg)
+		rate := r.Run(b, rateCfg)
+		mu.Lock()
+		if stress.RSR.PageReencs > 0 {
+			onchip = append(onchip, stress.RSR.OnChipFraction())
+			meancyc = append(meancyc, stress.RSR.MeanCycles())
+		}
+		reencs += stress.RSR.PageReencs
+		if stress.RSR.MaxConcurrent > maxConc {
+			maxConc = stress.RSR.MaxConcurrent
+		}
+		stalls += uint64(stress.RSR.StallCycles)
+		// Analytic rates from the default-geometry run.
+		if rate.Seconds > 0 {
+			for _, f := range rate.PageFastestIncrs {
+				splitRate += float64(f) / 128 * 64 / rate.Seconds
+			}
+			monoRate += float64(rate.FastestIncr) / 256 * memBlocks / rate.Seconds
+		}
+		mu.Unlock()
+	})
+	res := ScalarsResult{
+		OnChipFraction:  stats.Mean(onchip),
+		MeanReencCycles: stats.Mean(meancyc),
+		MaxConcurrent:   maxConc,
+		StallCycles:     stalls,
+		ReencsObserved:  reencs,
+	}
+	if monoRate > 0 {
+		res.WorkRatio = splitRate / monoRate
+	}
+	tbl := stats.Table{
+		Title: "Section 6.1 scalars: page re-encryption behaviour",
+		Cols:  []string{"metric", "measured", "paper"},
+	}
+	tbl.AddRow("blocks on-chip at re-encryption", stats.Pct(res.OnChipFraction), "48%")
+	tbl.AddRow("mean page re-encryption cycles", fmt.Sprintf("%.0f", res.MeanReencCycles), "5717")
+	tbl.AddRow("max concurrent re-encryptions", fmt.Sprintf("%d", res.MaxConcurrent), "up to 3")
+	tbl.AddRow("write-back stall cycles (8 RSRs)", fmt.Sprintf("%d", res.StallCycles), "0")
+	tbl.AddRow("split/mono8 re-encryption work", stats.Pct(res.WorkRatio), "0.3%")
+	tbl.AddNote("RSR behaviour measured with 4-bit minors and a 128KB L2 (%d re-encryptions observed); work ratio derived from 7-bit-geometry counter rates", res.ReencsObserved)
+	return tbl, res
+}

@@ -1,0 +1,309 @@
+// Package harness drives the paper's evaluation: it instantiates a
+// simulated machine per (benchmark, scheme) pair, runs the synthetic
+// workload, normalizes IPC against the unprotected baseline, and formats
+// each of the paper's tables and figures.
+//
+// Runs are independent, so the harness fans them out across CPUs; results
+// are deterministic for a given (options, scheme) regardless of
+// parallelism.
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"secmem/internal/config"
+	"secmem/internal/core"
+	"secmem/internal/cpu"
+	"secmem/internal/predictor"
+	"secmem/internal/reenc"
+	"secmem/internal/trace"
+)
+
+// Options controls an evaluation campaign.
+type Options struct {
+	// Instructions per run (the paper simulates 1B; the default trades
+	// that down to something a laptop regenerates in minutes while keeping
+	// the relative results stable).
+	Instructions uint64
+	// Seed feeds the workload generators.
+	Seed int64
+	// Benches lists the workloads; nil means all 21.
+	Benches []string
+	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultOptions returns a campaign sized for interactive use.
+func DefaultOptions() Options {
+	return Options{Instructions: 2_000_000, Seed: 1}
+}
+
+func (o Options) benches() []string {
+	if len(o.Benches) > 0 {
+		return o.Benches
+	}
+	return trace.Names()
+}
+
+// RunOut captures everything a figure needs from one simulation.
+type RunOut struct {
+	Bench  string
+	Scheme string
+	CPU    cpu.Result
+	IPC    float64
+	Ctl    core.Stats
+	// Counter-cache and counter statistics (zero when unused).
+	CtrHits, CtrHalfMisses, CtrMisses uint64
+	CtrIncrements                     uint64
+	FastestIncr                       uint64
+	RSR                               reenc.Stats
+	Seconds                           float64 // simulated wall time
+	BusBusy, BusWait                  uint64  // bus occupancy and queue delay
+	AESIssues                         uint64
+	// PageFastestIncrs holds, per touched encryption page, the write-back
+	// count of its fastest-advancing block (Section 6.1 analysis).
+	PageFastestIncrs []uint64
+}
+
+// CtrHitRate is hits over all counter-cache lookups.
+func (r RunOut) CtrHitRate() float64 {
+	n := r.CtrHits + r.CtrHalfMisses + r.CtrMisses
+	if n == 0 {
+		return 1
+	}
+	return float64(r.CtrHits) / float64(n)
+}
+
+// CtrHitPlusHalf counts half-misses as on-chip (the paper's second bar).
+func (r RunOut) CtrHitPlusHalf() float64 {
+	n := r.CtrHits + r.CtrHalfMisses + r.CtrMisses
+	if n == 0 {
+		return 1
+	}
+	return float64(r.CtrHits+r.CtrHalfMisses) / float64(n)
+}
+
+// TimelyPadRate is the fraction of counter-mode decryptions whose pad beat
+// the data fetch.
+func (r RunOut) TimelyPadRate() float64 {
+	if r.Ctl.PadReads == 0 {
+		return 1
+	}
+	return float64(r.Ctl.TimelyPads) / float64(r.Ctl.PadReads)
+}
+
+// Runner executes runs and caches baseline IPCs.
+type Runner struct {
+	Opt Options
+
+	mu        sync.Mutex
+	baselines map[string]float64
+}
+
+// New builds a Runner.
+func New(opt Options) *Runner {
+	if opt.Instructions == 0 {
+		opt.Instructions = DefaultOptions().Instructions
+	}
+	return &Runner{Opt: opt, baselines: make(map[string]float64)}
+}
+
+// Run simulates one (benchmark, configuration) pair.
+func (r *Runner) Run(bench string, cfg config.SystemConfig) RunOut {
+	mem, err := core.NewMemSystem(cfg)
+	if err != nil {
+		panic(err) // configurations are code, not input
+	}
+	gen := trace.NewGenerator(trace.Get(bench), r.Opt.Seed)
+	c := cpu.New(cfg, mem)
+	res := c.Run(gen, r.Opt.Instructions)
+	if cfg.ChargeMonoReenc {
+		// Whole-memory re-encryption freezes are charged by adding their
+		// analytic cost to the run's cycle count (the processor does
+		// nothing useful during a freeze).
+		res.Cycles += mem.Controller().Stats.FreezeCycles
+	}
+	out := RunOut{
+		Bench:   bench,
+		Scheme:  cfg.SchemeName(),
+		CPU:     res,
+		IPC:     res.IPC(),
+		Ctl:     mem.Controller().Stats,
+		Seconds: res.Seconds(cfg.ClockGHz),
+	}
+	if ctrs := mem.Controller().Counters(); ctrs != nil {
+		st := ctrs.Stats
+		out.CtrHits, out.CtrHalfMisses, out.CtrMisses = st.Hits, st.HalfMisses, st.Misses
+		out.CtrIncrements = st.Increments
+		out.FastestIncr, _ = ctrs.FastestCounter()
+		// Per-page fastest counters, for the Section 6.1 analytic work
+		// ratio: a page re-encrypts at the rate of its fastest minor.
+		pageFastest := map[uint64]uint64{}
+		ctrs.ForEachIncrement(func(addr, count uint64) {
+			page := addr / (uint64(cfg.PageBlocks) * 64)
+			if count > pageFastest[page] {
+				pageFastest[page] = count
+			}
+		})
+		out.PageFastestIncrs = make([]uint64, 0, len(pageFastest))
+		for _, v := range pageFastest {
+			out.PageFastestIncrs = append(out.PageFastestIncrs, v)
+		}
+	}
+	if rsrs := mem.Controller().RSRs(); rsrs != nil {
+		out.RSR = rsrs.Stats
+	}
+	out.BusBusy = mem.Controller().Bus().BusyCycles()
+	out.BusWait = mem.Controller().Bus().QueueDelay()
+	out.AESIssues = mem.Controller().AES().Issues()
+	return out
+}
+
+// Baseline returns the unprotected-machine IPC for a benchmark, cached.
+func (r *Runner) Baseline(bench string) float64 {
+	r.mu.Lock()
+	v, ok := r.baselines[bench]
+	r.mu.Unlock()
+	if ok {
+		return v
+	}
+	out := r.Run(bench, config.Baseline())
+	r.mu.Lock()
+	r.baselines[bench] = out.IPC
+	r.mu.Unlock()
+	return out.IPC
+}
+
+// NormIPC runs a configuration and normalizes its IPC to the baseline.
+func (r *Runner) NormIPC(bench string, cfg config.SystemConfig) float64 {
+	base := r.Baseline(bench)
+	if base == 0 {
+		return 0
+	}
+	return r.Run(bench, cfg).IPC / base
+}
+
+// WarmBaselines computes all baselines in parallel so subsequent figure
+// loops don't serialize on them.
+func (r *Runner) WarmBaselines() {
+	benches := r.Opt.benches()
+	r.parallelFor(len(benches), func(i int) {
+		r.Baseline(benches[i])
+	})
+}
+
+// parallelFor runs fn(0..n-1) across a bounded worker pool.
+func (r *Runner) parallelFor(n int, fn func(i int)) {
+	workers := r.Opt.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// --- configuration constructors for the paper's schemes --------------------
+
+// EncOnly returns an encryption-only machine (no authentication), as used
+// by Figure 4, Table 2, and Figure 5.
+func EncOnly(mode config.EncryptionMode, monoBits int) config.SystemConfig {
+	cfg := config.Default()
+	cfg.Enc = mode
+	cfg.MonoCounterBits = monoBits
+	cfg.Auth = config.AuthNone
+	cfg.AuthenticateCounters = false
+	return cfg
+}
+
+// AuthOnly returns an authentication-only machine (no encryption), as used
+// by Figures 7 and 8. GCM still maintains counters, per Section 6.2.
+func AuthOnly(auth config.AuthMode, shaLatency uint64, req config.AuthReq, parallel bool) config.SystemConfig {
+	cfg := config.Default()
+	cfg.Enc = config.EncNone
+	cfg.Auth = auth
+	cfg.SHA1Latency = shaLatency
+	cfg.Req = req
+	cfg.ParallelAuth = parallel
+	cfg.AuthenticateCounters = auth == config.AuthGCM
+	return cfg
+}
+
+// Combined returns one of Figure 9's five protection combinations by name:
+// "Split+GCM", "Mono+GCM", "Split+SHA", "Mono+SHA", "XOM+SHA".
+func Combined(name string) config.SystemConfig {
+	cfg := config.Default()
+	switch name {
+	case "Split+GCM":
+		cfg.Enc = config.EncCounterSplit
+		cfg.Auth = config.AuthGCM
+	case "Mono+GCM":
+		cfg.Enc = config.EncCounterMono
+		cfg.MonoCounterBits = 64
+		cfg.Auth = config.AuthGCM
+	case "Split+SHA":
+		cfg.Enc = config.EncCounterSplit
+		cfg.Auth = config.AuthSHA1
+	case "Mono+SHA":
+		cfg.Enc = config.EncCounterMono
+		cfg.MonoCounterBits = 64
+		cfg.Auth = config.AuthSHA1
+	case "XOM+SHA":
+		cfg.Enc = config.EncDirect
+		cfg.Auth = config.AuthSHA1
+		cfg.AuthenticateCounters = false
+	default:
+		panic("harness: unknown combined scheme " + name)
+	}
+	return cfg
+}
+
+// CombinedNames lists Figure 9's schemes in plot order.
+func CombinedNames() []string {
+	return []string{"Split+GCM", "Mono+GCM", "Split+SHA", "Mono+SHA", "XOM+SHA"}
+}
+
+// WithCounterCache resizes the counter cache (Figure 5).
+func WithCounterCache(cfg config.SystemConfig, sizeBytes int) config.SystemConfig {
+	cc := cfg.CounterCache
+	cc.SizeBytes = sizeBytes
+	cfg.CounterCache = cc
+	return cfg
+}
+
+// RunPredictor simulates the counter-prediction baseline for Figure 6.
+func (r *Runner) RunPredictor(bench string, engines int) (cpu.Result, predictor.Stats) {
+	sys := config.Baseline()
+	pcfg := predictor.DefaultConfig(sys, engines)
+	p, err := predictor.New(pcfg)
+	if err != nil {
+		panic(err)
+	}
+	gen := trace.NewGenerator(trace.Get(bench), r.Opt.Seed)
+	c := cpu.New(sys, p)
+	res := c.Run(gen, r.Opt.Instructions)
+	return res, p.Stats
+}

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"testing"
+
+	"secmem/internal/config"
+)
+
+// quickRunner keeps unit-test turnaround fast; the shape assertions below
+// hold at this scale and above (the full campaign uses cmd/paperbench).
+func quickRunner(benches ...string) *Runner {
+	opt := Options{Instructions: 400_000, Seed: 1}
+	if len(benches) > 0 {
+		opt.Benches = benches
+	}
+	return New(opt)
+}
+
+func TestBaselineCaching(t *testing.T) {
+	r := quickRunner("swim")
+	a := r.Baseline("swim")
+	b := r.Baseline("swim")
+	if a != b || a <= 0 {
+		t.Fatalf("baseline caching broken: %v vs %v", a, b)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	r := quickRunner()
+	cfg := EncOnly(config.EncCounterSplit, 64)
+	x := r.Run("art", cfg)
+	y := r.Run("art", cfg)
+	if x.IPC != y.IPC || x.CPU.Cycles != y.CPU.Cycles {
+		t.Fatalf("nondeterministic run: %+v vs %+v", x.CPU, y.CPU)
+	}
+}
+
+func TestNormIPCBounds(t *testing.T) {
+	r := quickRunner("swim", "crafty")
+	for _, b := range []string{"swim", "crafty"} {
+		v := r.NormIPC(b, EncOnly(config.EncCounterSplit, 64))
+		if v <= 0 || v > 1.05 {
+			t.Errorf("%s split normalized IPC = %.3f, out of (0, 1.05]", b, v)
+		}
+	}
+}
+
+func TestMemoryBoundSufferMoreFromDirect(t *testing.T) {
+	r := quickRunner("swim", "crafty")
+	direct := EncOnly(config.EncDirect, 64)
+	swim := r.NormIPC("swim", direct)
+	crafty := r.NormIPC("crafty", direct)
+	if swim >= crafty {
+		t.Errorf("direct: swim %.3f not worse than crafty %.3f", swim, crafty)
+	}
+}
+
+func TestSplitBeatsDirect(t *testing.T) {
+	r := quickRunner("swim", "art", "applu")
+	for _, b := range []string{"swim", "art", "applu"} {
+		split := r.NormIPC(b, EncOnly(config.EncCounterSplit, 64))
+		direct := r.NormIPC(b, EncOnly(config.EncDirect, 64))
+		if split <= direct {
+			t.Errorf("%s: split %.3f not better than direct %.3f", b, split, direct)
+		}
+	}
+}
+
+func TestSplitBeatsMono64(t *testing.T) {
+	r := quickRunner("swim", "art")
+	for _, b := range []string{"swim", "art"} {
+		split := r.NormIPC(b, EncOnly(config.EncCounterSplit, 64))
+		mono := r.NormIPC(b, EncOnly(config.EncCounterMono, 64))
+		if split <= mono {
+			t.Errorf("%s: split %.3f not better than mono64 %.3f", b, split, mono)
+		}
+	}
+}
+
+func TestMcfIsTheCounterCacheOutlier(t *testing.T) {
+	// The paper singles out mcf: its enormous pointer-chased working set
+	// defeats the counter cache.
+	r := quickRunner("mcf", "swim")
+	mcf := r.Run("mcf", EncOnly(config.EncCounterSplit, 64))
+	swim := r.Run("swim", EncOnly(config.EncCounterSplit, 64))
+	if mcf.CtrHitRate() >= swim.CtrHitRate() {
+		t.Errorf("mcf counter hit rate %.2f not below swim's %.2f",
+			mcf.CtrHitRate(), swim.CtrHitRate())
+	}
+}
+
+func TestCombinedConstructors(t *testing.T) {
+	for _, name := range CombinedNames() {
+		cfg := Combined(name)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if cfg.SchemeName() == "base" {
+			t.Errorf("%s: scheme name empty", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown combined scheme did not panic")
+		}
+	}()
+	Combined("Triple+ROT13")
+}
+
+func TestAuthOnlyConfigs(t *testing.T) {
+	gcm := AuthOnly(config.AuthGCM, 320, config.AuthCommit, true)
+	if gcm.Enc != config.EncNone || !gcm.AuthenticateCounters {
+		t.Errorf("GCM auth-only config wrong: %+v", gcm.Enc)
+	}
+	sha := AuthOnly(config.AuthSHA1, 640, config.AuthSafe, false)
+	if sha.SHA1Latency != 640 || sha.ParallelAuth || sha.Req != config.AuthSafe {
+		t.Error("SHA auth-only config wrong")
+	}
+	if sha.AuthenticateCounters {
+		t.Error("SHA-only config should not authenticate counters")
+	}
+}
+
+func TestWithCounterCache(t *testing.T) {
+	cfg := WithCounterCache(EncOnly(config.EncCounterSplit, 64), 128<<10)
+	if cfg.CounterCache.SizeBytes != 128<<10 {
+		t.Error("counter cache size not applied")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	r := New(Options{Instructions: 1, Parallelism: 4})
+	seen := make([]bool, 100)
+	r.parallelFor(len(seen), func(i int) { seen[i] = true })
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func TestPredictorRun(t *testing.T) {
+	r := quickRunner("gcc")
+	res, st := r.RunPredictor("gcc", 1)
+	if res.Instructions == 0 || st.Misses == 0 {
+		t.Fatalf("predictor run empty: %+v %+v", res, st)
+	}
+}
+
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	// Runs are independent simulations; fanning them across goroutines must
+	// not change any number.
+	mk := func(par int) FigData {
+		r := New(Options{
+			Instructions: 200_000,
+			Seed:         1,
+			Benches:      []string{"swim", "crafty"},
+			Parallelism:  par,
+		})
+		_, data := r.Fig5()
+		return data
+	}
+	serial := mk(1)
+	parallel := mk(4)
+	for scheme, row := range serial {
+		for bench, v := range row {
+			if parallel[scheme][bench] != v {
+				t.Errorf("%s/%s: serial %v != parallel %v", scheme, bench, v, parallel[scheme][bench])
+			}
+		}
+	}
+}

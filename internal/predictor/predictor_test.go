@@ -1,0 +1,191 @@
+package predictor
+
+import (
+	"testing"
+
+	"secmem/internal/cache"
+	"secmem/internal/config"
+)
+
+func testCfg(engines int) Config {
+	sys := config.Baseline()
+	sys.MemBytes = 16 << 20
+	sys.L1 = cache.Config{Name: "L1D", SizeBytes: 1 << 10, Ways: 2, BlockBytes: 64, LatencyCycles: 2}
+	sys.L2 = cache.Config{Name: "L2", SizeBytes: 8 << 10, Ways: 4, BlockBytes: 64, LatencyCycles: 10}
+	return DefaultConfig(sys, engines)
+}
+
+func mustNew(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFreshCountersPredictPerfectly(t *testing.T) {
+	// All counters start at zero, as do the bases: the paper observes the
+	// prediction rate "starts off high because all counters have the same
+	// initial value".
+	s := mustNew(t, testCfg(1))
+	for i := 0; i < 100; i++ {
+		s.Access(uint64(i)*500, uint64(i)*64, false)
+	}
+	if r := s.Stats.PredictionRate(); r != 1 {
+		t.Errorf("cold prediction rate = %.2f, want 1.0", r)
+	}
+}
+
+func TestDivergingCountersDegradePrediction(t *testing.T) {
+	// Once blocks within a page carry widely divergent counters, a single
+	// page base cannot predict them: one misprediction relearns the base,
+	// but the next block's counter differs again — the paper's Figure 6(b)
+	// degradation. Stage the divergence directly and read the page.
+	s := mustNew(t, testCfg(1))
+	for b := uint64(0); b < 32; b++ {
+		s.counters[b*64] = b * 10 // far beyond any N=5 window
+	}
+	now := uint64(0)
+	for b := uint64(0); b < 32; b++ {
+		s.Access(now, b*64, false)
+		now += 1000
+	}
+	if r := s.Stats.PredictionRate(); r > 0.3 {
+		t.Errorf("diverged-page prediction rate = %.2f, want low", r)
+	}
+}
+
+func TestTwoEnginesImproveTimeliness(t *testing.T) {
+	run := func(engines int) float64 {
+		s := mustNew(t, testCfg(engines))
+		now := uint64(0)
+		// Closely spaced misses contend for AES issue slots: with N=5
+		// pads per miss, one engine cannot keep up.
+		for i := 0; i < 400; i++ {
+			s.Access(now, uint64(i)*64, false)
+			now += 60
+		}
+		return s.Stats.TimelyPadRate()
+	}
+	one, two := run(1), run(2)
+	if two <= one {
+		t.Errorf("timely pads: 2 engines %.2f not better than 1 engine %.2f", two, one)
+	}
+}
+
+func TestPredictionConsumesNFoldAESBandwidth(t *testing.T) {
+	s := mustNew(t, testCfg(1))
+	for i := 0; i < 50; i++ {
+		s.Access(uint64(i)*10000, uint64(i)*64, false)
+	}
+	// Each miss precomputes N pads of 4 chunks.
+	wantMin := s.Stats.Misses * uint64(s.cfg.N) * 4
+	if got := s.AES().Issues(); got < wantMin {
+		t.Errorf("AES issues = %d, want >= %d (N-fold precomputation)", got, wantMin)
+	}
+}
+
+func TestCounterTrafficAccounted(t *testing.T) {
+	s := mustNew(t, testCfg(1))
+	for i := 0; i < 20; i++ {
+		s.Access(uint64(i)*10000, uint64(i)*64, false)
+	}
+	if s.Stats.CounterBytes != s.Stats.Misses*CounterBytes {
+		t.Errorf("counter bytes = %d for %d misses", s.Stats.CounterBytes, s.Stats.Misses)
+	}
+}
+
+func TestMispredictionLearnsBase(t *testing.T) {
+	s := mustNew(t, testCfg(1))
+	// Force a counter far ahead of its page base.
+	s.counters[0] = 100
+	s.Access(0, 0, false) // mispredict; base learns 100
+	if s.base[0] != 100 {
+		t.Errorf("base after misprediction = %d, want 100", s.base[0])
+	}
+	if s.Stats.Predicted != 0 {
+		t.Error("misprediction counted as predicted")
+	}
+	// Evict block 0, then re-read: now predicted.
+	for k := 1; k < 10; k++ {
+		s.Access(uint64(k)*1000, uint64(k)*8192, false)
+	}
+	before := s.Stats.Predicted
+	s.Access(100000, 0, false)
+	if s.Stats.Predicted != before+1 {
+		t.Errorf("relearned base did not predict: %+v", s.Stats)
+	}
+}
+
+func TestSnapshotStatsResets(t *testing.T) {
+	s := mustNew(t, testCfg(1))
+	s.Access(0, 0, false)
+	st := s.SnapshotStats()
+	if st.Misses != 1 {
+		t.Errorf("snapshot misses = %d", st.Misses)
+	}
+	if s.Stats.Misses != 0 {
+		t.Error("stats not reset by snapshot")
+	}
+}
+
+func TestZeroStatsRates(t *testing.T) {
+	var st Stats
+	if st.PredictionRate() != 1 || st.TimelyPadRate() != 1 {
+		t.Error("zero stats rates should be 1")
+	}
+}
+
+func TestInvalidSystemRejected(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.System.IssueWidth = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid system config accepted")
+	}
+}
+
+func TestWriteBackAdvancesCounterAndBase(t *testing.T) {
+	s := mustNew(t, testCfg(1))
+	now := uint64(0)
+	// Write block 0, then conflict-evict it (L2 is 8KB 4-way: stride 2KB
+	// maps to the same set) so its dirty eviction triggers writeBack.
+	s.Access(now, 0, true)
+	for k := 1; k <= 8; k++ {
+		now += 1000
+		s.Access(now, uint64(k)*2048, true)
+	}
+	if s.Stats.WriteBacks == 0 {
+		t.Fatal("no write-backs happened")
+	}
+	if s.counters[0] != 1 {
+		t.Errorf("counter after write-back = %d, want 1", s.counters[0])
+	}
+	if s.base[0] != 1 {
+		t.Errorf("page base after write-back = %d, want 1", s.base[0])
+	}
+	// Write-backs ship the counter too.
+	if s.Stats.CounterBytes < (s.Stats.Misses+s.Stats.WriteBacks)*CounterBytes {
+		t.Errorf("write-back counter traffic missing: %d bytes", s.Stats.CounterBytes)
+	}
+}
+
+func TestL2HitAndL1Paths(t *testing.T) {
+	s := mustNew(t, testCfg(1))
+	r1 := s.Access(0, 0x40, false)
+	if !r1.L2Miss {
+		t.Fatal("cold access hit")
+	}
+	// L1 hit.
+	r2 := s.Access(r1.DataReady, 0x40, false)
+	if r2.L2Miss || r2.DataReady != r1.DataReady+2 {
+		t.Errorf("L1 hit wrong: %+v", r2)
+	}
+	// Evict from tiny L1 (1KB 2-way, stride 512) but keep in L2: L2 hit.
+	s.Access(r2.DataReady, 0x40+512, false)
+	s.Access(r2.DataReady+100, 0x40+1024, false)
+	r3 := s.Access(r2.DataReady+1000, 0x40, false)
+	if r3.L2Miss {
+		t.Error("block evicted from L2 unexpectedly")
+	}
+}

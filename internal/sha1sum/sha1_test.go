@@ -1,0 +1,148 @@
+package sha1sum
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 180 / RFC 3174 known-answer vectors.
+var vectors = []struct {
+	in   string
+	want string
+}{
+	{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+	{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+	{strings.Repeat("a", 1000000), "34aa973cd4c4daa4f61eeb2bdbad27316534016f"},
+	{strings.Repeat("0123456701234567012345670123456701234567012345670123456701234567", 10),
+		"dea356a2cddd90c7a7ecedc5ebb563934f460452"},
+}
+
+func TestKnownVectors(t *testing.T) {
+	for _, v := range vectors {
+		got := Sum20([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.want {
+			name := v.in
+			if len(name) > 32 {
+				name = name[:32] + "..."
+			}
+			t.Errorf("SHA1(%q) = %x, want %s", name, got, v.want)
+		}
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		want := Sum20(data)
+		d := New()
+		cut := 0
+		if len(data) > 0 {
+			cut = int(split) % (len(data) + 1)
+		}
+		d.Write(data[:cut])
+		d.Write(data[cut:])
+		return bytes.Equal(d.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	d := New()
+	d.Write([]byte("ab"))
+	first := d.Sum(nil)
+	second := d.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("repeated Sum differs")
+	}
+	d.Write([]byte("c"))
+	want := Sum20([]byte("abc"))
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("continued hash = %x, want %x", got, want)
+	}
+}
+
+func TestSumAppendsToPrefix(t *testing.T) {
+	d := New()
+	d.Write([]byte("abc"))
+	out := d.Sum([]byte{0xDE, 0xAD})
+	if len(out) != 2+Size || out[0] != 0xDE || out[1] != 0xAD {
+		t.Errorf("prefix not preserved: %x", out)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum20([]byte("abc"))
+	if got := d.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("after Reset: %x, want %x", got, want)
+	}
+}
+
+func TestPaddingBoundaries(t *testing.T) {
+	// Lengths around the 55/56/64 byte padding boundaries are the classic
+	// off-by-one traps; compare consecutive lengths for distinctness and
+	// determinism.
+	seen := map[string]int{}
+	for n := 50; n <= 130; n++ {
+		in := bytes.Repeat([]byte{0xA7}, n)
+		got := Sum20(in)
+		again := Sum20(in)
+		if got != again {
+			t.Fatalf("nondeterministic at length %d", n)
+		}
+		k := string(got[:])
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("digest collision between lengths %d and %d", prev, n)
+		}
+		seen[k] = n
+	}
+}
+
+func TestMACProperties(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	data := bytes.Repeat([]byte{0x33}, 64)
+	mac := MAC(key, 0x1000, 5, data, 64)
+	if len(mac) != 8 {
+		t.Fatalf("64-bit MAC has %d bytes", len(mac))
+	}
+	if bytes.Equal(mac, MAC(key, 0x1040, 5, data, 64)) {
+		t.Error("MAC ignores address")
+	}
+	if bytes.Equal(mac, MAC(key, 0x1000, 6, data, 64)) {
+		t.Error("MAC ignores counter")
+	}
+	tampered := append([]byte(nil), data...)
+	tampered[0] ^= 1
+	if bytes.Equal(mac, MAC(key, 0x1000, 5, tampered, 64)) {
+		t.Error("MAC ignores data")
+	}
+	if bytes.Equal(mac, MAC([]byte("another-key-...."), 0x1000, 5, data, 64)) {
+		t.Error("MAC ignores key")
+	}
+}
+
+func TestMACBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad MAC size did not panic")
+		}
+	}()
+	MAC(nil, 0, 0, nil, 20)
+}
+
+func BenchmarkSum64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Sum20(data)
+	}
+}

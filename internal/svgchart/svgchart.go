@@ -1,0 +1,245 @@
+// Package svgchart renders the paper's figures as standalone SVG documents
+// using only the standard library. It supports the two shapes the paper
+// uses: grouped bar charts (normalized IPC per benchmark per scheme —
+// Figures 4, 7, 9) and line charts (trends over execution windows — Figure
+// 6(b); sensitivity sweeps — Figure 5).
+//
+// The output is deliberately plain: light grid, labeled axes, a legend, and
+// a muted categorical palette, so the charts read like the originals.
+package svgchart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette is the default categorical series palette.
+var Palette = []string{
+	"#4878a8", "#e39046", "#6a9a58", "#c05d5d", "#8578b0",
+	"#946f57", "#d884bd", "#7f7f7f",
+}
+
+// Bar is one bar within a group.
+type Bar struct {
+	Series string
+	Value  float64
+}
+
+// Group is one cluster of bars (typically one benchmark).
+type Group struct {
+	Label string
+	Bars  []Bar
+}
+
+// BarChart describes a grouped bar chart.
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []Group
+	// YMax fixes the axis top; 0 auto-scales to the data.
+	YMax float64
+	// RefLine draws a horizontal reference (e.g. 1.0 for normalized IPC).
+	RefLine float64
+}
+
+const (
+	chartW   = 980
+	chartH   = 420
+	marginL  = 70
+	marginR  = 20
+	marginT  = 50
+	marginB  = 70
+	legendDY = 16
+)
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceMax rounds v up to a tidy axis maximum.
+func niceMax(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.2, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+type svgBuilder struct {
+	strings.Builder
+}
+
+func (b *svgBuilder) elem(format string, args ...any) {
+	fmt.Fprintf(b, format+"\n", args...)
+}
+
+func header(b *svgBuilder, title string) {
+	b.elem(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica, Arial, sans-serif">`,
+		chartW, chartH, chartW, chartH)
+	b.elem(`<rect width="%d" height="%d" fill="white"/>`, chartW, chartH)
+	b.elem(`<text x="%d" y="24" font-size="15" font-weight="bold" fill="#222">%s</text>`,
+		marginL, esc(title))
+}
+
+func yAxis(b *svgBuilder, yMax float64, yLabel string) (plotH float64, y0 float64) {
+	plotH = float64(chartH - marginT - marginB)
+	y0 = float64(chartH - marginB)
+	// Gridlines and tick labels at 5 divisions.
+	for i := 0; i <= 5; i++ {
+		v := yMax * float64(i) / 5
+		y := y0 - plotH*float64(i)/5
+		b.elem(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd" stroke-width="1"/>`,
+			marginL, y, chartW-marginR, y)
+		b.elem(`<text x="%d" y="%.1f" font-size="11" fill="#555" text-anchor="end">%.2f</text>`,
+			marginL-6, y+4, v)
+	}
+	b.elem(`<text x="16" y="%.1f" font-size="12" fill="#333" transform="rotate(-90 16 %.1f)" text-anchor="middle">%s</text>`,
+		y0-plotH/2, y0-plotH/2, esc(yLabel))
+	return plotH, y0
+}
+
+func legend(b *svgBuilder, series []string) {
+	x := marginL
+	y := marginT - 14
+	for i, s := range series {
+		color := Palette[i%len(Palette)]
+		b.elem(`<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, x, y-9, color)
+		b.elem(`<text x="%d" y="%d" font-size="11" fill="#333">%s</text>`, x+14, y, esc(s))
+		x += 14 + 8*len(s) + 24
+	}
+	_ = legendDY
+}
+
+// Render produces the SVG document.
+func (c BarChart) Render() string {
+	var b svgBuilder
+	header(&b, c.Title)
+
+	var series []string
+	seen := map[string]int{}
+	maxV := 0.0
+	for _, g := range c.Groups {
+		for _, bar := range g.Bars {
+			if _, ok := seen[bar.Series]; !ok {
+				seen[bar.Series] = len(series)
+				series = append(series, bar.Series)
+			}
+			if bar.Value > maxV {
+				maxV = bar.Value
+			}
+		}
+	}
+	yMax := c.YMax
+	if yMax == 0 {
+		yMax = niceMax(maxV)
+	}
+	plotH, y0 := yAxis(&b, yMax, c.YLabel)
+	legend(&b, series)
+
+	plotW := float64(chartW - marginL - marginR)
+	groupW := plotW / float64(len(c.Groups))
+	for gi, g := range c.Groups {
+		gx := float64(marginL) + groupW*float64(gi)
+		barW := groupW * 0.8 / float64(len(series))
+		for _, bar := range g.Bars {
+			si := seen[bar.Series]
+			h := plotH * bar.Value / yMax
+			if h > plotH {
+				h = plotH
+			}
+			x := gx + groupW*0.1 + barW*float64(si)
+			b.elem(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.3f</title></rect>`,
+				x, y0-h, barW*0.92, h, Palette[si%len(Palette)],
+				esc(g.Label), esc(bar.Series), bar.Value)
+		}
+		b.elem(`<text x="%.1f" y="%.1f" font-size="11" fill="#333" text-anchor="middle" transform="rotate(-35 %.1f %.1f)">%s</text>`,
+			gx+groupW/2, y0+26, gx+groupW/2, y0+26, esc(g.Label))
+	}
+	if c.RefLine > 0 && c.RefLine <= yMax {
+		y := y0 - plotH*c.RefLine/yMax
+		b.elem(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#888" stroke-width="1" stroke-dasharray="5,4"/>`,
+			marginL, y, chartW-marginR, y)
+	}
+	b.elem(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333" stroke-width="1.5"/>`,
+		marginL, y0, chartW-marginR, y0)
+	b.elem(`</svg>`)
+	return b.String()
+}
+
+// Series is one line in a line chart.
+type Series struct {
+	Label  string
+	Points []float64
+}
+
+// LineChart describes an X-labeled multi-series line chart.
+type LineChart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	YMax    float64
+	YMin    float64
+}
+
+// Render produces the SVG document.
+func (c LineChart) Render() string {
+	var b svgBuilder
+	header(&b, c.Title)
+	maxV := c.YMax
+	if maxV == 0 {
+		for _, s := range c.Series {
+			for _, v := range s.Points {
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		maxV = niceMax(maxV)
+	}
+	plotH, y0 := yAxis(&b, maxV, c.YLabel)
+	names := make([]string, len(c.Series))
+	for i, s := range c.Series {
+		names[i] = s.Label
+	}
+	legend(&b, names)
+
+	plotW := float64(chartW - marginL - marginR)
+	n := len(c.XLabels)
+	if n < 2 {
+		n = 2
+	}
+	xAt := func(i int) float64 {
+		return float64(marginL) + plotW*float64(i)/float64(n-1)
+	}
+	for i, lbl := range c.XLabels {
+		b.elem(`<text x="%.1f" y="%.1f" font-size="11" fill="#333" text-anchor="middle">%s</text>`,
+			xAt(i), y0+20, esc(lbl))
+	}
+	for si, s := range c.Series {
+		color := Palette[si%len(Palette)]
+		var pts []string
+		for i, v := range s.Points {
+			y := y0 - plotH*(v-c.YMin)/(maxV-c.YMin)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), y))
+		}
+		b.elem(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		for i, v := range s.Points {
+			y := y0 - plotH*(v-c.YMin)/(maxV-c.YMin)
+			b.elem(`<circle cx="%.1f" cy="%.1f" r="3" fill="%s"><title>%s[%d] = %.3f</title></circle>`,
+				xAt(i), y, color, esc(s.Label), i, v)
+		}
+	}
+	b.elem(`<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333" stroke-width="1.5"/>`,
+		marginL, y0, chartW-marginR, y0)
+	b.elem(`</svg>`)
+	return b.String()
+}

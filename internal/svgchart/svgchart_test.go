@@ -1,0 +1,115 @@
+package svgchart
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleBars() BarChart {
+	return BarChart{
+		Title:   "Figure X: test & <check>",
+		YLabel:  "Normalized IPC",
+		RefLine: 1.0,
+		YMax:    1.2,
+		Groups: []Group{
+			{Label: "swim", Bars: []Bar{{"Split", 0.97}, {"Direct", 0.81}}},
+			{Label: "mcf", Bars: []Bar{{"Split", 0.63}, {"Direct", 0.78}}},
+			{Label: "Avg", Bars: []Bar{{"Split", 0.93}, {"Direct", 0.85}}},
+		},
+	}
+}
+
+func TestBarChartIsWellFormedXML(t *testing.T) {
+	out := sampleBars().Render()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestBarChartContents(t *testing.T) {
+	out := sampleBars().Render()
+	for _, want := range []string{
+		"<svg", "</svg>", "Normalized IPC",
+		"swim", "mcf", "Avg", "Split", "Direct",
+		"stroke-dasharray", // the 1.0 reference line
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Title special characters must be escaped.
+	if strings.Contains(out, "<check>") {
+		t.Error("unescaped angle brackets in output")
+	}
+	if !strings.Contains(out, "&amp;") {
+		t.Error("ampersand not escaped")
+	}
+	// 3 groups x 2 series = 6 bars plus the background rect.
+	if n := strings.Count(out, "<rect"); n != 6+1+2 { // + 2 legend swatches
+		t.Errorf("rect count = %d, want 9", n)
+	}
+}
+
+func TestBarChartAutoScale(t *testing.T) {
+	c := sampleBars()
+	c.YMax = 0
+	out := c.Render()
+	if !strings.Contains(out, "<svg") {
+		t.Fatal("render failed with auto scale")
+	}
+}
+
+func TestNiceMax(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {0.7, 0.8}, {1.0, 1.0}, {1.05, 1.2}, {37, 40}, {9.3, 10},
+	}
+	for _, c := range cases {
+		if got := niceMax(c.in); got != c.want {
+			t.Errorf("niceMax(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	c := LineChart{
+		Title:   "Figure 6(b)",
+		YLabel:  "rate",
+		XLabels: []string{"1", "2", "3", "4", "5"},
+		YMax:    1.0,
+		Series: []Series{
+			{Label: "SNC hit (split)", Points: []float64{0.95, 0.94, 0.93, 0.93, 0.93}},
+			{Label: "prediction rate", Points: []float64{1.0, 0.99, 0.98, 0.98, 0.97}},
+		},
+	}
+	out := c.Render()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	if n := strings.Count(out, "<polyline"); n != 2 {
+		t.Errorf("polyline count = %d, want 2", n)
+	}
+	if n := strings.Count(out, "<circle"); n != 10 {
+		t.Errorf("circle count = %d, want 10", n)
+	}
+}
+
+func TestEmptyLineChartDoesNotPanic(t *testing.T) {
+	out := LineChart{Title: "empty"}.Render()
+	if !strings.Contains(out, "</svg>") {
+		t.Error("truncated output")
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"secmem/internal/cpu"
+)
+
+// FuzzFileSource feeds arbitrary bytes to the trace reader: it must never
+// panic, and must either parse cleanly or report an error — silent
+// corruption is the only wrong answer.
+func FuzzFileSource(f *testing.F) {
+	// Seed with a real trace and a few mutations.
+	var buf bytes.Buffer
+	if err := Record(&buf, NewGenerator(Get("gcc"), 1), 50); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SMTR"))
+	f.Add(append(append([]byte{}, Magic[:]...), FormatVersion, 0xFF, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, err := NewFileSource(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header rejected: fine
+		}
+		for i := 0; i < 10000; i++ {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any event the writer accepts replays exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint32(5), true, false)
+	f.Add(uint64(0), uint32(0), false, true)
+	f.Add(^uint64(0)>>1, uint32(1<<20), true, true)
+	f.Fuzz(func(t *testing.T, addr uint64, gap uint32, write, dep bool) {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := []struct {
+			addr uint64
+			gap  uint32
+		}{{addr, gap}, {addr / 2, gap / 3}, {addr + 64, 0}}
+		for _, e := range in {
+			if err := w.Write(eventOf(e.addr, e.gap, write, dep)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewFileSource(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range in {
+			got, ok := src.Next()
+			if !ok {
+				t.Fatalf("event %d missing: %v", i, src.Err())
+			}
+			want := eventOf(e.addr, e.gap, write, dep)
+			if got != want {
+				t.Fatalf("event %d: %+v != %+v", i, got, want)
+			}
+		}
+	})
+}
+
+func eventOf(addr uint64, gap uint32, write, dep bool) cpu.Event {
+	return cpu.Event{Addr: addr, NonMemBefore: gap, Write: write, Dependent: dep}
+}

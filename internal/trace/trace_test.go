@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+
+	"secmem/internal/cpu"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 21 {
+		t.Fatalf("profiles = %d, want the paper's 21", len(names))
+	}
+	// The paper's Table 1 names, exactly.
+	want := []string{
+		"ammp", "applu", "apsi", "art", "bzip2", "crafty", "eon", "equake",
+		"gap", "gcc", "gzip", "mcf", "mesa", "mgrid", "parser", "perlbmk",
+		"swim", "twolf", "vortex", "vpr", "wupwise",
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("profile %d = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown profile did not panic")
+		}
+	}()
+	Get("specjbb")
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"mcf", "swim", "crafty"} {
+		a := NewGenerator(Get(name), 42)
+		b := NewGenerator(Get(name), 42)
+		for i := 0; i < 10000; i++ {
+			ea, _ := a.Next()
+			eb, _ := b.Next()
+			if ea != eb {
+				t.Fatalf("%s: event %d differs: %+v vs %+v", name, i, ea, eb)
+			}
+		}
+	}
+	// Different seeds differ.
+	a := NewGenerator(Get("mcf"), 1)
+	b := NewGenerator(Get("mcf"), 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		ea, _ := a.Next()
+		eb, _ := b.Next()
+		if ea == eb {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Errorf("seeds 1 and 2 nearly identical: %d/1000 equal", same)
+	}
+}
+
+func TestAddressesWithinDataRegion(t *testing.T) {
+	const memBytes = 512 << 20
+	for _, name := range Names() {
+		g := NewGenerator(Get(name), 7)
+		for i := 0; i < 20000; i++ {
+			ev, _ := g.Next()
+			if ev.Addr >= memBytes {
+				t.Fatalf("%s: address %#x beyond 512MB data region", name, ev.Addr)
+			}
+		}
+	}
+}
+
+func collect(name string, n int) []cpu.Event {
+	g := NewGenerator(Get(name), 11)
+	evs := make([]cpu.Event, n)
+	for i := range evs {
+		evs[i], _ = g.Next()
+	}
+	return evs
+}
+
+func TestMemFractionRoughlyHonored(t *testing.T) {
+	for _, name := range []string{"mcf", "eon", "swim"} {
+		p := Get(name)
+		evs := collect(name, 50000)
+		var instr uint64
+		for _, e := range evs {
+			instr += uint64(e.NonMemBefore) + 1
+		}
+		got := float64(len(evs)) / float64(instr)
+		if got < p.MemFraction*0.8 || got > p.MemFraction*1.2 {
+			t.Errorf("%s: memory fraction %.3f, profile says %.3f", name, got, p.MemFraction)
+		}
+	}
+}
+
+func TestStoreFractionRoughlyHonored(t *testing.T) {
+	for _, name := range []string{"swim", "art"} {
+		p := Get(name)
+		evs := collect(name, 50000)
+		stores := 0
+		for _, e := range evs {
+			if e.Write {
+				stores++
+			}
+		}
+		got := float64(stores) / float64(len(evs))
+		// Hot-region bias pushes it above the base fraction.
+		if got < p.StoreFraction*0.8 || got > p.StoreFraction+0.20 {
+			t.Errorf("%s: store fraction %.3f vs base %.3f", name, got, p.StoreFraction)
+		}
+	}
+}
+
+func TestDependenceSeparatesChasersFromStreamers(t *testing.T) {
+	frac := func(name string) float64 {
+		evs := collect(name, 30000)
+		dep := 0
+		for _, e := range evs {
+			if e.Dependent {
+				dep++
+			}
+		}
+		return float64(dep) / float64(len(evs))
+	}
+	if mcf, swim := frac("mcf"), frac("swim"); mcf < 0.15 || swim > 0.1 {
+		t.Errorf("dependence: mcf=%.2f swim=%.2f", mcf, swim)
+	}
+}
+
+func TestWorkingSetFootprints(t *testing.T) {
+	// mcf touches far more unique blocks than eon over the same window.
+	unique := func(name string) int {
+		seen := map[uint64]bool{}
+		for _, e := range collect(name, 30000) {
+			seen[e.Addr&^63] = true
+		}
+		return len(seen)
+	}
+	if mcf, eon := unique("mcf"), unique("eon"); mcf < 4*eon {
+		t.Errorf("footprints: mcf=%d eon=%d", mcf, eon)
+	}
+}
+
+func TestHotRegionConcentratesWrites(t *testing.T) {
+	// For twolf, the hot region must absorb a disproportionate share of
+	// stores relative to its size (this is what drives Table 2's fast
+	// counters).
+	evs := collect("twolf", 50000)
+	hotStores, stores := 0, 0
+	for _, e := range evs {
+		if !e.Write {
+			continue
+		}
+		stores++
+		if e.Addr >= hotBase && e.Addr < hotBase+(32<<10) {
+			hotStores++
+		}
+	}
+	if stores == 0 || float64(hotStores)/float64(stores) < 0.25 {
+		t.Errorf("hot stores %d / %d, want concentrated", hotStores, stores)
+	}
+}
+
+func TestBadProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-weight profile did not panic")
+		}
+	}()
+	NewGenerator(Profile{Name: "bad", MemFraction: 0.3}, 1)
+}

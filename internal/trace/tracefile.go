@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"secmem/internal/cpu"
+)
+
+// This file implements a compact on-disk trace format so workloads can be
+// recorded once and replayed exactly — across simulator versions, on other
+// machines, or from external trace sources converted into it.
+//
+// Format:
+//
+//	magic "SMTR" | u8 version |
+//	events: u8 flags | uvarint nonMemBefore | svarint addrDelta
+//
+// Addresses are delta-encoded against the previous event's address
+// (zig-zag), which makes streaming workloads nearly free to store.
+
+// Magic identifies a secmem trace file.
+var Magic = [4]byte{'S', 'M', 'T', 'R'}
+
+// FormatVersion is the current trace format version.
+const FormatVersion = 1
+
+const (
+	flagWrite     = 1 << 0
+	flagDependent = 1 << 1
+)
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer streams events into the on-disk format.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	events   uint64
+}
+
+// NewWriter wraps w for trace recording.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(FormatVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one event.
+func (t *Writer) Write(ev cpu.Event) error {
+	var flags byte
+	if ev.Write {
+		flags |= flagWrite
+	}
+	if ev.Dependent {
+		flags |= flagDependent
+	}
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(ev.NonMemBefore))
+	delta := int64(ev.Addr) - int64(t.prevAddr)
+	n += binary.PutVarint(buf[n:], delta)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	t.prevAddr = ev.Addr
+	t.events++
+	return nil
+}
+
+// Events reports how many events have been written.
+func (t *Writer) Events() uint64 { return t.events }
+
+// Flush commits buffered bytes to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Record drains n events from src into w.
+func Record(w io.Writer, src cpu.Source, n uint64) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(ev); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// FileSource replays a recorded trace; it implements cpu.Source.
+type FileSource struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	err      error
+}
+
+// NewFileSource validates the header and prepares replay.
+func NewFileSource(r io.Reader) (*FileSource, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if ver != FormatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	return &FileSource{r: br}, nil
+}
+
+// Next returns the next event; false at end of trace or on error (check
+// Err afterwards).
+func (s *FileSource) Next() (cpu.Event, bool) {
+	if s.err != nil {
+		return cpu.Event{}, false
+	}
+	flags, err := s.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		return cpu.Event{}, false
+	}
+	gap, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		s.err = fmt.Errorf("%w: truncated gap", ErrBadTrace)
+		return cpu.Event{}, false
+	}
+	delta, err := binary.ReadVarint(s.r)
+	if err != nil {
+		s.err = fmt.Errorf("%w: truncated address", ErrBadTrace)
+		return cpu.Event{}, false
+	}
+	addr := uint64(int64(s.prevAddr) + delta)
+	s.prevAddr = addr
+	return cpu.Event{
+		Addr:         addr,
+		Write:        flags&flagWrite != 0,
+		Dependent:    flags&flagDependent != 0,
+		NonMemBefore: uint32(gap),
+	}, true
+}
+
+// Err reports a decoding error encountered during replay, if any.
+func (s *FileSource) Err() error { return s.err }
+
+// Summary aggregates a trace's workload characteristics; the secmemtrace
+// tool prints it.
+type Summary struct {
+	Events       uint64
+	Instructions uint64
+	Stores       uint64
+	Dependent    uint64
+	UniqueBlocks int
+	MinAddr      uint64
+	MaxAddr      uint64
+}
+
+// MemFraction is memory events over instructions.
+func (s Summary) MemFraction() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Events) / float64(s.Instructions)
+}
+
+// Summarize scans a source (a replayed file or a live generator) for up to
+// n events.
+func Summarize(src cpu.Source, n uint64) Summary {
+	var sum Summary
+	blocks := make(map[uint64]struct{})
+	sum.MinAddr = ^uint64(0)
+	for i := uint64(0); i < n; i++ {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		sum.Events++
+		sum.Instructions += uint64(ev.NonMemBefore) + 1
+		if ev.Write {
+			sum.Stores++
+		}
+		if ev.Dependent {
+			sum.Dependent++
+		}
+		blocks[ev.Addr&^63] = struct{}{}
+		if ev.Addr < sum.MinAddr {
+			sum.MinAddr = ev.Addr
+		}
+		if ev.Addr > sum.MaxAddr {
+			sum.MaxAddr = ev.Addr
+		}
+	}
+	sum.UniqueBlocks = len(blocks)
+	if sum.Events == 0 {
+		sum.MinAddr = 0
+	}
+	return sum
+}

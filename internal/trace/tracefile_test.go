@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"secmem/internal/cpu"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	gen := NewGenerator(Get("mcf"), 7)
+	if err := Record(&buf, gen, 20000); err != nil {
+		t.Fatal(err)
+	}
+	// Replay must equal a fresh generation, event for event.
+	src, err := NewFileSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewGenerator(Get("mcf"), 7)
+	for i := 0; i < 20000; i++ {
+		got, ok := src.Next()
+		if !ok {
+			t.Fatalf("trace ended early at %d: %v", i, src.Err())
+		}
+		want, _ := ref.Next()
+		if got != want {
+			t.Fatalf("event %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("trace longer than recorded")
+	}
+	if src.Err() != nil {
+		t.Errorf("clean EOF reported error: %v", src.Err())
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Streaming deltas must compress well below the naive 13+ bytes/event.
+	var buf bytes.Buffer
+	gen := NewGenerator(Get("swim"), 1)
+	if err := Record(&buf, gen, 10000); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / 10000
+	if perEvent > 8 {
+		t.Errorf("trace uses %.1f bytes/event, want < 8", perEvent)
+	}
+}
+
+func TestTraceBadHeader(t *testing.T) {
+	if _, err := NewFileSource(bytes.NewReader([]byte("NOPE1234"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	if _, err := NewFileSource(bytes.NewReader([]byte("SM"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("short header: err = %v", err)
+	}
+	bad := append([]byte{}, Magic[:]...)
+	bad = append(bad, 99) // future version
+	if _, err := NewFileSource(bytes.NewReader(bad)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad version: err = %v", err)
+	}
+}
+
+func TestTraceTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	gen := NewGenerator(Get("gcc"), 3)
+	if err := Record(&buf, gen, 100); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	src, err := NewFileSource(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n >= 100 {
+		t.Errorf("read %d events from truncated trace", n)
+	}
+	if src.Err() == nil {
+		t.Error("truncation not reported")
+	}
+}
+
+func TestWriterEventCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Write(cpu.Event{Addr: uint64(i) * 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Events() != 5 {
+		t.Errorf("events = %d", w.Events())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	gen := NewGenerator(Get("twolf"), 5)
+	sum := Summarize(gen, 30000)
+	if sum.Events != 30000 {
+		t.Fatalf("events = %d", sum.Events)
+	}
+	if sum.Instructions <= sum.Events {
+		t.Error("instructions not counting gaps")
+	}
+	if f := sum.MemFraction(); f < 0.2 || f > 0.4 {
+		t.Errorf("mem fraction = %.2f", f)
+	}
+	if sum.Stores == 0 || sum.Dependent == 0 {
+		t.Error("store/dependent counts empty")
+	}
+	if sum.UniqueBlocks == 0 || sum.MaxAddr <= sum.MinAddr {
+		t.Errorf("footprint wrong: %+v", sum)
+	}
+	var empty Summary
+	if empty.MemFraction() != 0 {
+		t.Error("empty summary fraction nonzero")
+	}
+}
+
+func TestSummaryMatchesAcrossReplay(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(&buf, NewGenerator(Get("art"), 9), 5000); err != nil {
+		t.Fatal(err)
+	}
+	live := Summarize(NewGenerator(Get("art"), 9), 5000)
+	src, _ := NewFileSource(bytes.NewReader(buf.Bytes()))
+	replay := Summarize(src, 5000)
+	if live != replay {
+		t.Errorf("summaries differ:\nlive   %+v\nreplay %+v", live, replay)
+	}
+}

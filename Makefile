@@ -1,0 +1,30 @@
+GO ?= go
+
+# Race-detector coverage for the packages with concurrent state.
+RACE_PKGS = ./internal/core ./internal/engine ./internal/counterstore
+
+.PHONY: all build test race vet lint bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+# Domain-specific crypto-invariant analyzers; see internal/lint and the
+# "Static analysis & invariants" sections of README.md / DESIGN.md.
+lint:
+	$(GO) run ./cmd/secmemlint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+ci: build vet lint test race

@@ -1,0 +1,150 @@
+// Command secmemlint runs the repository's domain-specific static analyzers
+// — the machine-checked crypto invariants behind the paper's security
+// argument (see internal/lint and the "Static analysis & invariants"
+// sections of README.md and DESIGN.md).
+//
+// Usage:
+//
+//	secmemlint [flags] [packages]
+//
+// Packages are directory patterns like ./... or ./internal/core (default
+// ./...). Exit status is 0 when clean, 1 when findings were reported, and 2
+// on usage or load errors.
+//
+// Flags:
+//
+//	-json             emit findings as a JSON array
+//	-enable  a,b,...  run only the named analyzers
+//	-disable a,b,...  skip the named analyzers
+//	-list             print the analyzer suite and exit
+//
+// Deliberate exceptions are silenced at the site with a
+// "//secmemlint:ignore <analyzer> <reason>" comment; the reason is required.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"secmem/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secmemlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secmemlint:", err)
+		os.Exit(2)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "secmemlint: warning: %s: %v\n", pkg.Path, terr)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	relativize(diags)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "secmemlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers applies -enable / -disable, rejecting unknown names so a
+// typo cannot silently skip a check.
+func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := make(map[string]bool)
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	enabled, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	disabled, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if len(enabled) > 0 && !enabled[a.Name] {
+			continue
+		}
+		if disabled[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// relativize rewrites absolute file paths relative to the working directory
+// when that makes them shorter and unambiguous.
+func relativize(diags []lint.Diagnostic) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}

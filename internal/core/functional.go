@@ -1,7 +1,7 @@
 package core
 
 import (
-	"bytes"
+	"crypto/subtle"
 	"sort"
 
 	"secmem/internal/aescipher"
@@ -144,7 +144,7 @@ func (f *functional) verify(now sim.Time, addr uint64, content []byte, ctr uint6
 		if !set {
 			return true
 		}
-		if !bytes.Equal(mac, want) {
+		if subtle.ConstantTimeCompare(mac, want) != 1 {
 			f.tamper(now, addr)
 			return false
 		}
@@ -159,7 +159,7 @@ func (f *functional) verify(now sim.Time, addr uint64, content []byte, ctr uint6
 		}
 	}
 	lo, hi := f.c.lay.Geo.MacOffset(slot)
-	if !bytes.Equal(mac, pbuf[lo:hi]) {
+	if subtle.ConstantTimeCompare(mac, pbuf[lo:hi]) != 1 {
 		f.tamper(now, addr)
 		return false
 	}
@@ -181,7 +181,7 @@ func (f *functional) onDataFill(now sim.Time, addr uint64) {
 	var ct, pt [BlockSize]byte
 	f.c.mem.ReadBlock(addr, ct[:])
 	if f.c.cfg.Auth != config.AuthNone {
-		f.verify(now, addr, ct[:], f.counterFor(addr))
+		f.verify(now, addr, ct[:], f.counterFor(addr)) //secmemlint:ignore verifydrop verify records the tamper; the simulator continues to observe post-tamper behavior
 	}
 	f.decrypt(pt[:], ct[:], addr, f.counterFor(addr))
 	f.plain[addr] = &pt
@@ -190,7 +190,7 @@ func (f *functional) onDataFill(now sim.Time, addr uint64) {
 func (f *functional) onMacFill(now sim.Time, addr uint64) {
 	var buf [BlockSize]byte
 	f.c.mem.ReadBlock(addr, buf[:])
-	f.verify(now, addr, buf[:], f.counterFor(addr))
+	f.verify(now, addr, buf[:], f.counterFor(addr)) //secmemlint:ignore verifydrop verify records the tamper; the simulator continues to observe post-tamper behavior
 	f.meta[addr] = &buf
 }
 
@@ -198,7 +198,7 @@ func (f *functional) onCounterFill(now sim.Time, ctrBlk uint64) {
 	var img [BlockSize]byte
 	f.c.mem.ReadBlock(ctrBlk, img[:])
 	if f.c.cfg.AuthenticateCounters && f.c.cfg.Auth != config.AuthNone && f.c.inTree(ctrBlk) {
-		f.verify(now, ctrBlk, img[:], f.counterFor(ctrBlk))
+		f.verify(now, ctrBlk, img[:], f.counterFor(ctrBlk)) //secmemlint:ignore verifydrop verify records the tamper; the simulator continues to observe post-tamper behavior
 	}
 	// The hardware trusts what memory says: install the fetched counters.
 	// Without counter authentication this is where a replayed counter block
@@ -276,7 +276,7 @@ func (f *functional) onReencBlock(now sim.Time, blk, oldMajor uint64) {
 	f.c.mem.ReadBlock(blk, ct[:])
 	oldCtr := f.c.ctrs.ValueWithMajor(blk, oldMajor)
 	if f.c.cfg.Auth != config.AuthNone {
-		f.verify(now, blk, ct[:], oldCtr)
+		f.verify(now, blk, ct[:], oldCtr) //secmemlint:ignore verifydrop verify records the tamper; re-encryption proceeds to observe post-tamper behavior
 	}
 	f.decrypt(pt[:], ct[:], blk, oldCtr)
 	// New counter: the already-bumped major with a zeroed minor.

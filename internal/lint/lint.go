@@ -1,0 +1,207 @@
+// Package lint is secmemlint's analysis engine: a small, stdlib-only
+// static-analysis framework (go/parser + go/ast + go/types, no external
+// modules) with domain-specific analyzers that machine-check the crypto
+// invariants this repository's security argument rests on:
+//
+//   - maccompare: MAC/tag comparisons must be constant time (GCM tag check).
+//   - seeddiscipline: counter-mode seeds are built only by the canonical
+//     builder, so pads are never reused (Section 3 seed uniqueness).
+//   - randhygiene: math/rand stays inside simulation packages, away from
+//     crypto and core paths.
+//   - verifydrop: results of Verify/Authenticate/Open-shaped calls must not
+//     be discarded (Section 4.3 verify-before-trust).
+//   - sliceretain: crypto constructors/setters must not alias caller []byte.
+//
+// The compiler cannot see any of these properties; the analyzers keep all
+// packages honest through refactors. cmd/secmemlint is the CLI driver and
+// lint_test.go pins the real repository to zero findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable/disable flags,
+	// and suppression comments.
+	Name string
+	// Doc is a one-line description shown by secmemlint -list.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass is one (analyzer, package) execution.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MacCompare,
+		SeedDiscipline,
+		RandHygiene,
+		VerifyDrop,
+		SliceRetain,
+	}
+}
+
+// Run executes analyzers over pkgs, drops findings silenced by
+// "//secmemlint:ignore" comments, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &pkgDiags})
+		}
+		for _, d := range pkgDiags {
+			if !ignores.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreSet maps file -> line -> analyzer names silenced on that line. A
+// suppression comment has the form
+//
+//	//secmemlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and applies to findings on its own line (trailing comment) or on the line
+// directly below (comment-above form). "all" silences every analyzer. The
+// reason is mandatory so intent is documented at the suppression site.
+type ignoreSet map[string]map[int][]string
+
+const ignorePrefix = "secmemlint:ignore"
+
+func collectIgnores(pkg *Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					continue // no reason given: suppression does not apply
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	byLine := s[d.File]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- shared expression helpers used by several analyzers -------------------
+
+// coreName digs out the identifier a value expression is "about": the
+// receiver-most name of selectors, the array name of index/slice
+// expressions, and the callee name of calls. It is the textual handle the
+// name-based heuristics match against.
+func coreName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return coreName(e.X)
+	case *ast.SliceExpr:
+		return coreName(e.X)
+	case *ast.CallExpr:
+		return coreName(e.Fun)
+	case *ast.ParenExpr:
+		return coreName(e.X)
+	case *ast.StarExpr:
+		return coreName(e.X)
+	case *ast.UnaryExpr:
+		return coreName(e.X)
+	}
+	return ""
+}
+
+// calleeName returns the final name of a call target ("Verify" for both
+// Verify(...) and x.y.Verify(...)), or "" when it has no name.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepositoryClean runs the full analyzer suite over the real repository
+// and requires zero findings: `go test ./...` permanently enforces the
+// paper's crypto invariants. If this test fails, either fix the flagged
+// code or — for a deliberate exception — add a
+// "//secmemlint:ignore <analyzer> <reason>" comment at the site.
+func TestRepositoryClean(t *testing.T) {
+	pkgs := loadRepo(t)
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("repository violates a crypto invariant: %s", d)
+	}
+}
+
+// TestRepositoryTypechecks keeps the loader honest: analyzer precision
+// depends on type information, so the whole repo must typecheck under the
+// stdlib-only loader.
+func TestRepositoryTypechecks(t *testing.T) {
+	for _, pkg := range loadRepo(t) {
+		for _, err := range pkg.TypeErrors {
+			t.Errorf("%s: %v", pkg.Path, err)
+		}
+	}
+}
+
+// TestViolationsAreDetected guards against the suite rotting into a no-op:
+// the golden fixtures must keep producing findings when run as a whole, the
+// same way a reintroduced bytes.Equal MAC compare in the real tree would.
+func TestViolationsAreDetected(t *testing.T) {
+	fixtures := map[string]string{ // analyzer -> violating fixture dir
+		"maccompare":     "maccompare",
+		"seeddiscipline": "seeddiscipline",
+		"randhygiene":    "randhygiene/cryptoish",
+		"verifydrop":     "verifydrop",
+		"sliceretain":    "sliceretain/gcmmode",
+	}
+	for name, dir := range fixtures {
+		pkgs, err := Load(filepath.Join("testdata", "src", filepath.FromSlash(dir)), []string{"."})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		diags := Run(pkgs, All())
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: violating fixture %s produced no %s finding", name, dir, name)
+		}
+	}
+}
+
+// TestSuppressionRequiresReason: a bare ignore comment without a reason must
+// not silence anything.
+func TestSuppressionRequiresReason(t *testing.T) {
+	pkgs := loadRepo(t)
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for file, byLine := range ignores {
+			for line := range byLine {
+				if !strings.HasSuffix(file, ".go") || line <= 0 {
+					t.Errorf("malformed ignore record %s:%d", file, line)
+				}
+			}
+		}
+	}
+}
+
+var repoPkgs []*Package
+
+func loadRepo(t *testing.T) []*Package {
+	t.Helper()
+	if repoPkgs == nil {
+		pkgs, err := Load(filepath.Join("..", ".."), []string{"./..."})
+		if err != nil {
+			t.Fatalf("loading repository: %v", err)
+		}
+		repoPkgs = pkgs
+	}
+	return repoPkgs
+}

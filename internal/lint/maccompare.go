@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// MacCompare enforces the constant-time tag check the GCM construction
+// depends on: any comparison of MAC/tag material must go through
+// crypto/subtle.ConstantTimeCompare. bytes.Equal, reflect.DeepEqual, and ==
+// on byte arrays all short-circuit at the first differing byte, turning the
+// authentication check into a timing oracle an attacker can use to forge
+// tags one byte at a time.
+var MacCompare = &Analyzer{
+	Name: "maccompare",
+	Doc:  "MAC/tag comparisons must use crypto/subtle.ConstantTimeCompare",
+	Run:  runMacCompare,
+}
+
+// macNameRe matches names that carry authentication-code material. coreName
+// reduces expressions like pbuf[lo:hi] or f.computeMac(...) to a handle this
+// regexp can judge.
+var macNameRe = regexp.MustCompile(`(?i)(mac|tag|digest|ghash|sig|auth)`)
+
+func runMacCompare(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn, pkg := qualifiedCallee(info, n)
+				variadicEqual := (pkg == "bytes" && fn == "Equal") ||
+					(pkg == "reflect" && fn == "DeepEqual")
+				if variadicEqual && len(n.Args) == 2 && (macish(n.Args[0]) || macish(n.Args[1])) {
+					pass.Reportf(n.Pos(),
+						"MAC/tag compared with %s.%s; use crypto/subtle.ConstantTimeCompare (variable-time comparison leaks a tag-forgery timing oracle)",
+						pkg, fn)
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !macish(n.X) && !macish(n.Y) {
+					return true
+				}
+				if isByteArray(info, n.X) || isByteArray(info, n.Y) {
+					pass.Reportf(n.Pos(),
+						"MAC/tag byte arrays compared with %s; use crypto/subtle.ConstantTimeCompare over slices (array comparison is variable time)",
+						n.Op)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func macish(e ast.Expr) bool {
+	return macNameRe.MatchString(coreName(e))
+}
+
+// qualifiedCallee resolves pkgname.Func calls to ("Func", "importpath-base"),
+// using type information when available and falling back to the spelled
+// package qualifier otherwise.
+func qualifiedCallee(info *types.Info, call *ast.CallExpr) (fn, pkg string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if obj, ok := info.Uses[id].(*types.PkgName); ok {
+		return sel.Sel.Name, lastSegment(obj.Imported().Path())
+	}
+	return sel.Sel.Name, id.Name
+}
+
+func isByteArray(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	arr, ok := tv.Type.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,39 @@
+package lint
+
+import "strconv"
+
+// RandHygiene keeps math/rand where it belongs: workload generation and
+// device modeling. The simulator legitimately draws pseudo-random traffic in
+// the trace, DRAM, and harness packages, but a math/rand import in a crypto
+// or core path is one refactor away from a predictable IV or key. Production
+// randomness, if ever needed, must come from crypto/rand.
+var RandHygiene = &Analyzer{
+	Name: "randhygiene",
+	Doc:  "math/rand only in simulation packages (trace, dram, harness)",
+	Run:  runRandHygiene,
+}
+
+// randAllowedPkgs are the simulation package name segments allowed to import
+// math/rand.
+var randAllowedPkgs = []string{"trace", "dram", "harness"}
+
+func runRandHygiene(pass *Pass) {
+	for _, seg := range randAllowedPkgs {
+		if pass.Pkg.Segment(seg) {
+			return
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Path.Pos(),
+					"%s imported outside the simulation allowlist (trace, dram, harness); crypto and core paths must not use predictable randomness",
+					path)
+			}
+		}
+	}
+}

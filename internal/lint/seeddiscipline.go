@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// SeedDiscipline guards the paper's Section 3 pad-uniqueness argument: a
+// counter-mode pad seed is address ‖ counter ‖ EIV, and the argument that no
+// (key, seed) pair ever repeats holds only if every seed is laid out by the
+// canonical builder (gcmmode.MakeSeed on top of the aescipher substrate).
+// Ad-hoc assembly like addr<<k | ctr silently overlaps fields when counter
+// widths change, and two writes sharing one pad break confidentiality
+// completely (XOR of ciphertexts = XOR of plaintexts).
+//
+// The analyzer flags, outside the canonical packages:
+//
+//   - shift-and-combine expressions that mix an address-like value with a
+//     counter-like value, and
+//   - composite literals of a Seed-shaped byte-array type.
+//
+// Pure counter folding (major<<bits | minor in the counter store) and cache
+// tag math do not mix an address with a counter and stay clean.
+var SeedDiscipline = &Analyzer{
+	Name: "seeddiscipline",
+	Doc:  "counter-mode seeds/pads are built only by the canonical gcmmode builder",
+	Run:  runSeedDiscipline,
+}
+
+// seedBuilderPkgs are the package name segments allowed to assemble seed
+// material by hand: the canonical builder and the cipher substrate it rides on.
+var seedBuilderPkgs = []string{"gcmmode", "aescipher"}
+
+var (
+	addrNameRe = regexp.MustCompile(`(?i)addr`)
+	ctrNameRe  = regexp.MustCompile(`(?i)(ctr|counter|major|minor)`)
+)
+
+func runSeedDiscipline(pass *Pass) {
+	for _, seg := range seedBuilderPkgs {
+		if pass.Pkg.Segment(seg) {
+			return
+		}
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		reported := make(map[*ast.BinaryExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if reported[n] {
+					return true
+				}
+				if !combineOp(n.Op) {
+					return true
+				}
+				terms := flattenCombine(n, n.Op, reported)
+				if seedAssembly(terms) {
+					pass.Reportf(n.Pos(),
+						"ad-hoc seed assembly combines an address with a counter; build pad seeds only via the canonical gcmmode seed builder (pad reuse breaks Section 3 uniqueness)")
+				}
+			case *ast.CompositeLit:
+				if isSeedType(info, n) {
+					pass.Reportf(n.Pos(),
+						"Seed constructed by hand; use the canonical gcmmode seed builder so the field layout cannot drift")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func combineOp(op token.Token) bool {
+	return op == token.OR || op == token.XOR || op == token.ADD
+}
+
+// flattenCombine collects the terms of a same-operator chain (a | b | c),
+// marking interior nodes so they are not reported twice.
+func flattenCombine(e *ast.BinaryExpr, op token.Token, seen map[*ast.BinaryExpr]bool) []ast.Expr {
+	var terms []ast.Expr
+	var walk func(x ast.Expr)
+	walk = func(x ast.Expr) {
+		if b, ok := ast.Unparen(x).(*ast.BinaryExpr); ok && b.Op == op {
+			seen[b] = true
+			walk(b.X)
+			walk(b.Y)
+			return
+		}
+		terms = append(terms, ast.Unparen(x))
+	}
+	walk(e)
+	return terms
+}
+
+// seedAssembly reports whether the combined terms look like pad-seed layout:
+// at least one shifted term, one address-like value, and one counter-like
+// value. Shifted terms contribute the name of the shifted operand.
+func seedAssembly(terms []ast.Expr) bool {
+	var hasShift, hasAddr, hasCtr bool
+	for _, t := range terms {
+		base := t
+		if sh, ok := t.(*ast.BinaryExpr); ok && sh.Op == token.SHL {
+			hasShift = true
+			base = ast.Unparen(sh.X)
+		}
+		name := coreName(base)
+		if addrNameRe.MatchString(name) {
+			hasAddr = true
+		}
+		if ctrNameRe.MatchString(name) {
+			hasCtr = true
+		}
+	}
+	return hasShift && hasAddr && hasCtr
+}
+
+// isSeedType matches composite literals of a named type "Seed" whose
+// underlying type is a byte array — the shape of gcmmode.Seed and of any
+// copycat a refactor might introduce.
+func isSeedType(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Seed" {
+		return false
+	}
+	arr, ok := named.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// SliceRetain prevents aliasing bugs in the crypto substrate: a constructor
+// or setter that stores a caller-provided []byte without copying shares the
+// backing array with the caller, and the caller's next reuse of its scratch
+// buffer silently rewrites what the crypto object believes is key, subkey,
+// or MAC material. merkle.Root.Set copies for exactly this reason; the
+// analyzer makes that discipline mechanical for every New*/Set*-shaped
+// function in the crypto packages.
+//
+// A parameter that is rebound inside the function (p = append([]byte(nil),
+// p...)) is treated as copied and not reported.
+var SliceRetain = &Analyzer{
+	Name: "sliceretain",
+	Doc:  "crypto constructors/setters must copy caller-provided []byte, not alias it",
+	Run:  runSliceRetain,
+}
+
+// cryptoPkgs are the package name segments holding key/MAC material whose
+// lifetime outlives the constructor call.
+var cryptoPkgs = []string{"aescipher", "gcmmode", "gf128", "sha1sum", "merkle"}
+
+// retainFuncRe selects constructor/setter-shaped functions: the ones whose
+// parameters end up stored in long-lived state.
+var retainFuncRe = regexp.MustCompile(`^(New|Make|Set|Init|With|Must)`)
+
+func runSliceRetain(pass *Pass) {
+	inScope := false
+	for _, seg := range cryptoPkgs {
+		if pass.Pkg.Segment(seg) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !retainFuncRe.MatchString(fn.Name.Name) {
+				continue
+			}
+			params := byteSliceParams(info, fn)
+			if len(params) == 0 {
+				continue
+			}
+			dropReboundParams(info, fn.Body, params)
+			checkRetention(pass, info, fn, params)
+		}
+	}
+}
+
+// byteSliceParams returns the objects of fn's []byte parameters.
+func byteSliceParams(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			sl, ok := obj.Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// dropReboundParams removes parameters that are reassigned in the body —
+// the conforming copy idiom rebinds the name to an owned buffer.
+func dropReboundParams(info *types.Info, body *ast.BlockStmt, params map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && params[obj] {
+					delete(params, obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkRetention(pass *Pass, info *types.Info, fn *ast.FuncDecl, params map[types.Object]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if _, isField := n.Lhs[i].(*ast.SelectorExpr); !isField {
+					continue
+				}
+				if obj := aliasedParam(info, rhs, params); obj != nil {
+					pass.Reportf(rhs.Pos(),
+						"%s retains caller-provided []byte %q without copying; aliasing lets the caller's buffer reuse corrupt crypto state",
+						fn.Name.Name, obj.Name())
+				}
+			}
+		case *ast.CompositeLit:
+			if !isStructLit(info, n) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if obj := aliasedParam(info, val, params); obj != nil {
+					pass.Reportf(val.Pos(),
+						"%s retains caller-provided []byte %q in a composite literal without copying; aliasing lets the caller's buffer reuse corrupt crypto state",
+						fn.Name.Name, obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasedParam resolves expressions that alias a watched parameter's backing
+// array: the bare name or any reslicing of it.
+func aliasedParam(info *types.Info, e ast.Expr, params map[types.Object]bool) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil && params[obj] {
+			return obj
+		}
+	case *ast.SliceExpr:
+		return aliasedParam(info, e.X, params)
+	}
+	return nil
+}
+
+func isStructLit(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Struct)
+	return ok
+}

@@ -1,0 +1,40 @@
+// Package maccompare is the golden fixture for the maccompare analyzer:
+// every flagged line carries a want annotation, every clean line does not.
+package maccompare
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"reflect"
+)
+
+func checkTag(mac, want []byte) bool {
+	if bytes.Equal(mac, want) { // want "MAC/tag compared with bytes.Equal"
+		return true
+	}
+	if reflect.DeepEqual(mac, want) { // want "MAC/tag compared with reflect.DeepEqual"
+		return true
+	}
+	return subtle.ConstantTimeCompare(mac, want) == 1 // conforming
+}
+
+func checkSlot(tag []byte, node []byte, lo, hi int) bool {
+	return bytes.Equal(tag, node[lo:hi]) // want "MAC/tag compared with bytes.Equal"
+}
+
+func arrayTags(tag, other [16]byte) bool {
+	if tag != other { // want "MAC/tag byte arrays compared with !="
+		return false
+	}
+	return tag == other // want "MAC/tag byte arrays compared with =="
+}
+
+// unrelated byte comparisons are none of maccompare's business.
+func payloadsMatch(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}
+
+// non-byte comparisons of MAC-named values are fine (e.g. counting tags).
+func tagCountsMatch(tagCount, otherCount int) bool {
+	return tagCount == otherCount
+}

@@ -1,0 +1,13 @@
+// Package cryptoish is the golden fixture for randhygiene's flagged side: a
+// package outside the simulation allowlist importing math/rand.
+package cryptoish
+
+import (
+	"math/rand" // want "math/rand imported outside the simulation allowlist"
+)
+
+// keyByte is exactly the bug the analyzer exists to prevent: predictable
+// "randomness" feeding key material.
+func keyByte() byte {
+	return byte(rand.Int())
+}

@@ -1,0 +1,10 @@
+// Package trace stands in for the simulation allowlist (trace, dram,
+// harness): math/rand is legitimate workload-generation machinery here.
+package trace
+
+import "math/rand"
+
+// Addr draws a pseudo-random block address for synthetic traffic.
+func Addr(r *rand.Rand) uint64 {
+	return uint64(r.Int63()) &^ 63
+}

@@ -1,0 +1,44 @@
+// Package seeddiscipline is the golden fixture for the seeddiscipline
+// analyzer. It lives outside the canonical builder packages, so ad-hoc seed
+// assembly here must be flagged.
+package seeddiscipline
+
+// Seed mimics the canonical seed type's shape (named Seed, byte array).
+type Seed [16]byte
+
+func badShiftOr(addr, ctr uint64) uint64 {
+	return addr<<16 | ctr // want "ad-hoc seed assembly"
+}
+
+func badReversed(counter, blockAddr uint64) uint64 {
+	s := counter | blockAddr<<8 // want "ad-hoc seed assembly"
+	return s
+}
+
+func badChain(addr, ctr, eiv uint64) uint64 {
+	return addr<<24 | ctr<<8 | eiv // want "ad-hoc seed assembly"
+}
+
+func badAdd(addr, counter uint64) uint64 {
+	return addr<<32 + counter // want "ad-hoc seed assembly"
+}
+
+func badLiteral(addr, ctr uint64) Seed {
+	return Seed{0: byte(addr), 8: byte(ctr)} // want "Seed constructed by hand"
+}
+
+// Counter folding combines two counters, never an address: clean, exactly
+// like counterstore.Value.
+func okCounterFold(major, minor uint64) uint64 {
+	return major<<7 | minor
+}
+
+// Cache tag math has no counter in it: clean.
+func okCacheAddr(tag, setIdx, setBits uint64) uint64 {
+	return tag<<setBits | setIdx
+}
+
+// Combining without a shift is not seed layout: clean.
+func okNoShift(addr, ctr uint64) uint64 {
+	return addr | ctr
+}

@@ -1,0 +1,14 @@
+// Package gcmmode stands in for the canonical seed builder: its import path
+// ends in "gcmmode", so seed assembly here is exempt — this is where the
+// one true layout lives.
+package gcmmode
+
+// Seed mirrors the canonical 16-byte AES input block.
+type Seed [16]byte
+
+// MakeSeed is the canonical builder; raw shift-and-combine and Seed
+// literals are allowed here and nowhere else.
+func MakeSeed(blockAddr, counter uint64, eiv byte) Seed {
+	folded := blockAddr<<8 | counter
+	return Seed{0: byte(folded >> 56), 15: eiv}
+}

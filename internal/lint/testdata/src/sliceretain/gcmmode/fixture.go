@@ -1,0 +1,49 @@
+// Package gcmmode is the golden fixture for the sliceretain analyzer: its
+// import path ends in a crypto package name, so constructors and setters
+// here must copy caller-provided byte slices.
+package gcmmode
+
+type keyed struct {
+	key []byte
+	buf []byte
+}
+
+func NewKeyed(key []byte) *keyed {
+	return &keyed{key: key} // want "NewKeyed retains caller-provided \\[\\]byte \"key\""
+}
+
+func NewKeyedPositional(key []byte) keyed {
+	return keyed{key, nil} // want "NewKeyedPositional retains caller-provided \\[\\]byte \"key\""
+}
+
+func (k *keyed) SetBuf(buf []byte) {
+	k.buf = buf // want "SetBuf retains caller-provided \\[\\]byte \"buf\""
+}
+
+func (k *keyed) SetBufPrefix(buf []byte, n int) {
+	k.buf = buf[:n] // want "SetBufPrefix retains caller-provided \\[\\]byte \"buf\""
+}
+
+// The conforming idioms: copy into an owned buffer, or rebind the parameter
+// to a copy first.
+func NewKeyedCopy(key []byte) *keyed {
+	return &keyed{key: append([]byte(nil), key...)}
+}
+
+func (k *keyed) SetBufCopy(buf []byte) {
+	k.buf = append(k.buf[:0], buf...)
+}
+
+func (k *keyed) SetBufRebound(buf []byte) {
+	buf = append([]byte(nil), buf...)
+	k.buf = buf
+}
+
+// Reading a parameter without storing it is clean.
+func NewSum(data []byte) int {
+	total := 0
+	for _, b := range data {
+		total += int(b)
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package plain shows sliceretain's scoping: outside the crypto packages,
+// retaining a caller's slice is an ordinary (sometimes intended) Go idiom
+// and is not flagged.
+package plain
+
+type holder struct {
+	data []byte
+}
+
+func NewHolder(data []byte) *holder {
+	return &holder{data: data} // clean: not a crypto package
+}

@@ -1,0 +1,43 @@
+// Package verifydrop is the golden fixture for the verifydrop analyzer:
+// authentication results that are discarded, blanked, or unobservable must
+// be flagged; results that gate control flow are clean.
+package verifydrop
+
+type engine struct{}
+
+func (engine) Verify(mac []byte) bool      { return len(mac) == 0 }
+func (engine) Authenticate() error         { return nil }
+func Open(name string) ([]byte, error)     { return nil, nil }
+func (engine) VerifyCounter(v uint64) bool { return v != 0 }
+func (engine) record()                     {}
+func (engine) OpenSlots() int              { return 4 }
+
+func bad(e engine) {
+	e.Verify(nil)          // want "result of Verify discarded"
+	e.VerifyCounter(7)     // want "result of VerifyCounter discarded"
+	_ = e.Verify(nil)      // want "result of Verify assigned to blank"
+	_, _ = Open("region")  // want "result of Open assigned to blank"
+	go e.Authenticate()    // want "result of Authenticate unobservable in go statement"
+	defer e.Authenticate() // want "result of Authenticate unobservable in defer statement"
+}
+
+func good(e engine) {
+	if !e.Verify(nil) {
+		e.record()
+	}
+	ok := e.Verify(nil)
+	if ok {
+		e.record()
+	}
+	if err := e.Authenticate(); err != nil {
+		e.record()
+	}
+	img, err := Open("region")
+	if err != nil || img == nil {
+		e.record()
+	}
+	// Results without a bool or error are not trust decisions.
+	e.OpenSlots()
+	// An explicit suppression with a reason silences a deliberate site.
+	e.Verify(nil) //secmemlint:ignore verifydrop fixture models a simulator that records tampers internally
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// VerifyDrop enforces verify-before-trust (the Section 4.3 counter-replay
+// fix): the result of an authentication check decides whether fetched data
+// or counters may be trusted, so it must never be thrown away. The analyzer
+// flags calls to Verify-, Authenticate-, and Open-shaped functions that
+// return a bool or error when the call's results are discarded — used as a
+// bare statement, assigned entirely to blanks, or launched via go/defer
+// where the results are unobservable.
+//
+// Sites that intentionally continue after a failed check (the functional
+// simulator records the tamper and keeps running so post-tamper behavior can
+// be observed) must carry an explicit "//secmemlint:ignore verifydrop
+// <reason>" suppression, documenting the decision in place.
+var VerifyDrop = &Analyzer{
+	Name: "verifydrop",
+	Doc:  "results of Verify/Authenticate/Open-shaped calls must be checked",
+	Run:  runVerifyDrop,
+}
+
+var verifyNameRe = regexp.MustCompile(`(?i)^(verify|authenticate|open)`)
+
+func runVerifyDrop(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && droppableVerify(info, call) {
+					pass.Reportf(n.Pos(),
+						"result of %s discarded; authentication results must gate trust (verify-before-trust, Section 4.3)",
+						calleeName(call))
+				}
+			case *ast.GoStmt:
+				if droppableVerify(info, n.Call) {
+					pass.Reportf(n.Pos(),
+						"result of %s unobservable in go statement; authentication results must gate trust",
+						calleeName(n.Call))
+				}
+			case *ast.DeferStmt:
+				if droppableVerify(info, n.Call) {
+					pass.Reportf(n.Pos(),
+						"result of %s unobservable in defer statement; authentication results must gate trust",
+						calleeName(n.Call))
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !droppableVerify(info, call) {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				pass.Reportf(n.Pos(),
+					"result of %s assigned to blank; authentication results must gate trust (verify-before-trust, Section 4.3)",
+					calleeName(call))
+			}
+			return true
+		})
+	}
+}
+
+// droppableVerify reports whether call targets a Verify/Authenticate/Open-
+// shaped function whose results include a bool or error worth checking.
+func droppableVerify(info *types.Info, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if name == "" || !verifyNameRe.MatchString(name) {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false // conversion, or no type info to judge by
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+			return true
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -3,7 +3,7 @@ GO ?= go
 # Race-detector coverage for the packages with concurrent state.
 RACE_PKGS = ./internal/core ./internal/engine ./internal/counterstore
 
-.PHONY: all build test race vet lint bench ci
+.PHONY: all build test race vet lint bench trace-smoke ci
 
 all: build
 
@@ -27,4 +27,19 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-ci: build vet lint test race
+# End-to-end observability smoke: run a tiny instrumented simulation, check
+# the metrics/trace artifact shape with secmemobs -validate, and confirm a
+# repeated run is byte-identical (determinism is part of the contract).
+SMOKE_DIR = /tmp/secmem-trace-smoke
+trace-smoke:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 \
+		-metrics $(SMOKE_DIR)/m1.json -trace $(SMOKE_DIR)/t1.json
+	$(GO) run ./cmd/secmemobs -metrics $(SMOKE_DIR)/m1.json -trace $(SMOKE_DIR)/t1.json -validate
+	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 \
+		-metrics $(SMOKE_DIR)/m2.json -trace $(SMOKE_DIR)/t2.json >/dev/null
+	cmp $(SMOKE_DIR)/m1.json $(SMOKE_DIR)/m2.json
+	cmp $(SMOKE_DIR)/t1.json $(SMOKE_DIR)/t2.json
+	@echo "trace-smoke: ok (valid shape, deterministic output)"
+
+ci: build vet lint test race trace-smoke

@@ -31,12 +31,13 @@ func main() {
 		all     = flag.Bool("all", false, "regenerate everything")
 		jsonOut = flag.String("json", "", "also write structured results as JSON to this file")
 		svgDir  = flag.String("svg", "", "also render figures as SVG files into this directory")
+		metrics = flag.String("metrics", "", "write per-benchmark metric deltas (Split+GCM vs baseline) as JSON to this file")
 	)
 	flag.Parse()
 	if *quick {
 		*instr = 1_000_000
 	}
-	if *fig == 0 && *table == 0 && !*scalars && !*ablate {
+	if *fig == 0 && *table == 0 && !*scalars && !*ablate && *metrics == "" {
 		*all = true
 	}
 	r := harness.New(harness.Options{Instructions: *instr, Seed: *seed})
@@ -139,9 +140,32 @@ func main() {
 		fmt.Printf("[%s regenerated in %.1fs]\n\n", j.name, time.Since(t0).Seconds())
 		ran++
 	}
-	if ran == 0 {
+	if ran == 0 && *metrics == "" {
 		fmt.Fprintln(os.Stderr, "paperbench: nothing selected (use -all, -fig N, -table 2, or -scalars)")
 		os.Exit(2)
+	}
+	// A malformed figure row is a run failure, not a panic mid-campaign.
+	if err := r.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *metrics != "" {
+		t0 := time.Now()
+		deltas := r.MetricDeltas(harness.Combined("Split+GCM"))
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(deltas); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("per-benchmark metric deltas (Split+GCM vs baseline) written to %s in %.1fs\n",
+			*metrics, time.Since(t0).Seconds())
 	}
 	if *svgDir != "" {
 		for name, doc := range svgs {

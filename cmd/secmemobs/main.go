@@ -1,0 +1,243 @@
+// Command secmemobs renders and validates the observability artifacts that
+// secmemsim emits: the metrics registry JSON (-metrics) and the Chrome
+// trace-event timeline (-trace).
+//
+// By default it prints plain-text tables: utilization/derived gauges,
+// counters, and latency histograms. With -validate it instead checks the
+// artifacts for the shape an instrumented protected run must have (nonzero
+// ctrcache.*, merkle.*, and aes.* series; a loadable trace with overlapped
+// Merkle-level work) and exits non-zero on violation — CI's trace-smoke
+// target runs this.
+//
+//	secmemsim -bench swim -metrics m.json -trace t.json
+//	secmemobs -metrics m.json -trace t.json
+//	secmemobs -metrics m.json -trace t.json -validate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"secmem/internal/obsv"
+	"secmem/internal/stats"
+)
+
+func main() {
+	var (
+		metrics  = flag.String("metrics", "", "metrics registry JSON written by secmemsim -metrics")
+		trace    = flag.String("trace", "", "Chrome trace-event JSON written by secmemsim -trace")
+		validate = flag.Bool("validate", false, "validate artifact shape instead of rendering tables")
+	)
+	flag.Parse()
+	if *metrics == "" {
+		fatalf("-metrics is required")
+	}
+
+	snap := loadSnapshot(*metrics)
+	var events []traceEvent
+	if *trace != "" {
+		events = loadTrace(*trace)
+	}
+
+	if *validate {
+		errs := validateSnapshot(snap)
+		if *trace != "" {
+			errs = append(errs, validateTrace(events)...)
+		}
+		if len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "secmemobs: FAIL: %s\n", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("secmemobs: ok (%d counters, %d gauges, %d histograms",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+		if *trace != "" {
+			fmt.Printf(", %d trace events", len(events))
+		}
+		fmt.Println(")")
+		return
+	}
+
+	render(snap, events)
+}
+
+// loadSnapshot parses a registry snapshot JSON file.
+func loadSnapshot(path string) obsv.Snapshot {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var snap obsv.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		fatalf("parsing %s: %v", path, err)
+	}
+	return snap
+}
+
+// traceEvent is the subset of the Chrome trace-event wire format the
+// validator and renderer need. Cat carries the track name.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   uint64  `json:"ts"`
+	Dur  *uint64 `json:"dur"`
+}
+
+func loadTrace(path string) []traceEvent {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var tf struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &tf); err != nil {
+		fatalf("parsing %s: %v", path, err)
+	}
+	return tf.TraceEvents
+}
+
+// validateSnapshot checks that the protected-run metric series an
+// instrumented simulation must produce are present and nonzero.
+func validateSnapshot(snap obsv.Snapshot) []string {
+	var errs []string
+	for _, prefix := range []string{"ctrcache.", "merkle.", "aes."} {
+		nonzero := false
+		for name, v := range snap.Counters {
+			if strings.HasPrefix(name, prefix) && v > 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			errs = append(errs, fmt.Sprintf("no nonzero %s* counter in metrics", prefix))
+		}
+	}
+	return errs
+}
+
+// validateTrace checks that the timeline is non-trivial and shows at least
+// one pair of overlapping spans on different Merkle levels — the parallel
+// level authentication the trace exists to make visible.
+func validateTrace(events []traceEvent) []string {
+	var errs []string
+	var complete, txns int
+	type span struct {
+		track  string
+		lo, hi uint64
+	}
+	var merkle []span
+	for _, e := range events {
+		switch e.Ph {
+		case "X":
+			complete++
+			if strings.HasPrefix(e.Cat, "merkle.") && e.Dur != nil {
+				merkle = append(merkle, span{e.Cat, e.Ts, e.Ts + *e.Dur})
+			}
+		case "b":
+			txns++
+		}
+	}
+	if complete == 0 {
+		errs = append(errs, "trace has no complete ('X') events")
+	}
+	if txns == 0 {
+		errs = append(errs, "trace has no transaction ('b') events")
+	}
+	overlap := false
+	for i := 0; i < len(merkle) && !overlap; i++ {
+		for j := i + 1; j < len(merkle); j++ {
+			a, b := merkle[i], merkle[j]
+			if a.track != b.track && a.lo < b.hi && b.lo < a.hi {
+				overlap = true
+				break
+			}
+		}
+	}
+	if !overlap {
+		errs = append(errs, "no overlapping spans on distinct merkle levels (expected with parallel authentication)")
+	}
+	return errs
+}
+
+// render prints the snapshot (and trace summary) as plain-text tables.
+func render(snap obsv.Snapshot, events []traceEvent) {
+	if len(snap.Gauges) > 0 {
+		tbl := stats.Table{
+			Title: "Utilization and derived gauges",
+			Cols:  []string{"gauge", "value"},
+		}
+		for _, name := range sortedKeys(snap.Gauges) {
+			tbl.AddRow(name, fmt.Sprintf("%.4f", snap.Gauges[name]))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+	if len(snap.Counters) > 0 {
+		tbl := stats.Table{
+			Title: "Counters",
+			Cols:  []string{"counter", "count"},
+		}
+		for _, name := range sortedKeys(snap.Counters) {
+			tbl.AddRow(name, fmt.Sprintf("%d", snap.Counters[name]))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+	if len(snap.Histograms) > 0 {
+		tbl := stats.Table{
+			Title: "Latency histograms (cycles)",
+			Cols:  []string{"histogram", "count", "mean", "min", "max"},
+		}
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = float64(h.Sum) / float64(h.Count)
+			}
+			tbl.AddRow(name,
+				fmt.Sprintf("%d", h.Count),
+				fmt.Sprintf("%.1f", mean),
+				fmt.Sprintf("%d", h.Min),
+				fmt.Sprintf("%d", h.Max))
+		}
+		fmt.Print(tbl.String())
+		fmt.Println()
+	}
+	if len(events) > 0 {
+		perTrack := map[string]int{}
+		for _, e := range events {
+			if e.Ph != "M" {
+				perTrack[e.Cat]++
+			}
+		}
+		tbl := stats.Table{
+			Title: "Trace events per track",
+			Cols:  []string{"track", "events"},
+		}
+		for _, name := range sortedKeys(perTrack) {
+			tbl.AddRow(name, fmt.Sprintf("%d", perTrack[name]))
+		}
+		fmt.Print(tbl.String())
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "secmemobs: "+format+"\n", args...)
+	os.Exit(2)
+}

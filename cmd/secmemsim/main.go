@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"secmem/internal/config"
 	"secmem/internal/core"
 	"secmem/internal/harness"
+	"secmem/internal/obsv"
 	"secmem/internal/stats"
 	"secmem/internal/trace"
 )
@@ -38,6 +40,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		timeline = flag.Bool("timeline", false, "print the Figure 1 L2-miss timelines for this configuration and exit")
 		overhead = flag.Bool("overhead", false, "print memory space overheads for the paper's schemes and exit")
+
+		metricsOut = flag.String("metrics", "", "write the observability registry (counters/gauges/histograms) as JSON to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline (chrome://tracing, Perfetto) to this file")
+		traceLimit = flag.Int("tracelimit", 0, "cap on recorded trace events (0 = default cap)")
 	)
 	flag.Parse()
 
@@ -110,6 +116,18 @@ func main() {
 		fatalf("unknown benchmark %q; available: %s, all", *bench, strings.Join(trace.Names(), " "))
 	}
 
+	// One registry/recorder pair is shared across the (sequential) runs:
+	// counters accumulate over all selected benchmarks; gauges reflect the
+	// last run. Baseline runs stay uninstrumented so the metrics describe
+	// the protected configuration only.
+	var obs harness.Obs
+	if *metricsOut != "" {
+		obs.Reg = obsv.NewRegistry()
+	}
+	if *traceOut != "" {
+		obs.Rec = obsv.NewRecorder(*traceLimit)
+	}
+
 	r := harness.New(harness.Options{Instructions: *instr, Seed: *seed, Benches: benches})
 	tbl := stats.Table{
 		Title: fmt.Sprintf("secmemsim: %s, %s requirement, %d instructions", cfg.SchemeName(), cfg.Req, *instr),
@@ -118,7 +136,7 @@ func main() {
 	}
 	for _, b := range benches {
 		base := r.Baseline(b)
-		out := r.Run(b, cfg)
+		out := r.RunObserved(b, cfg, obs)
 		tbl.AddRow(b,
 			stats.F(out.IPC),
 			stats.F(out.IPC/base),
@@ -131,6 +149,36 @@ func main() {
 		)
 	}
 	fmt.Print(tbl.String())
+
+	if obs.Reg != nil {
+		if err := writeTo(*metricsOut, obs.Reg.WriteJSON); err != nil {
+			fatalf("writing metrics: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if obs.Rec != nil {
+		if err := writeTo(*traceOut, obs.Rec.WriteJSON); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if d := obs.Rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "secmemsim: warning: %d trace events dropped at the cap (raise -tracelimit)\n", d)
+		}
+		fmt.Printf("trace written to %s (%d events; load in chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, obs.Rec.Len())
+	}
+}
+
+// writeTo writes via fn into path, creating or truncating it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

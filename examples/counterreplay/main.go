@@ -13,13 +13,16 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"secmem/internal/cache"
 	"secmem/internal/config"
 	"secmem/internal/core"
 	"secmem/internal/dram"
+	"secmem/internal/obsv"
 )
 
 func newSystem(authenticateCounters bool) *core.MemSystem {
@@ -75,6 +78,9 @@ func attack(mem *core.MemSystem) (ctA, ctB [64]byte, tampers uint64) {
 }
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of the defended run to this file")
+	flag.Parse()
+
 	fmt.Println("Section 4.3 counter replay attack")
 	fmt.Println()
 
@@ -103,8 +109,29 @@ func main() {
 	fmt.Println()
 
 	// --- Run 2: the paper's fix (counters are Merkle leaves) --------------
-	_, _, tampers = attack(newSystem(true))
+	defended := newSystem(true)
+	rec := obsv.NewRecorder(0)
+	if *traceOut != "" {
+		// Trace the defended run: the tamper instant on the "txn" track
+		// marks the cycle the rolled-back counter block fails its MAC.
+		defended.Instrument(nil, rec)
+	}
+	_, _, tampers = attack(defended)
 	fmt.Println("WITH counter authentication (counters as Merkle leaves):")
 	fmt.Printf("  tamper events: %d — the rolled-back counter block fails its\n", tampers)
 	fmt.Println("  MAC check the moment it is fetched, before any pad is built.")
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\ntrace of the defended run written to %s (%d events)\n", *traceOut, rec.Len())
+		fmt.Println("load it in chrome://tracing or ui.perfetto.dev; look for the")
+		fmt.Println("\"tamper\" instant on the txn track.")
+	}
 }

@@ -4,7 +4,10 @@
 // are served FIFO; queuing delay emerges from the shared timeline.
 package bus
 
-import "secmem/internal/sim"
+import (
+	"secmem/internal/obsv"
+	"secmem/internal/sim"
+)
 
 // Config describes the bus.
 type Config struct {
@@ -29,6 +32,22 @@ type Bus struct {
 	// Transfers and Bytes accumulate traffic statistics.
 	Transfers uint64
 	Bytes     uint64
+
+	// Observability handles; all nil-safe, so an uninstrumented bus pays
+	// one predicted branch per call.
+	mXfer  *obsv.Counter
+	mBytes *obsv.Counter
+	hWait  *obsv.Histogram
+	rec    *obsv.Recorder
+}
+
+// Instrument registers the bus's metrics in reg and attaches the trace
+// recorder. Either argument may be nil.
+func (b *Bus) Instrument(reg *obsv.Registry, rec *obsv.Recorder) {
+	b.mXfer = reg.Counter("bus.xfer")
+	b.mBytes = reg.Counter("bus.bytes")
+	b.hWait = reg.Histogram("bus.wait")
+	b.rec = rec
 }
 
 // New creates a bus.
@@ -53,7 +72,13 @@ func (b *Bus) Occupancy(n int) sim.Time {
 func (b *Bus) Transfer(now sim.Time, n int) sim.Time {
 	b.Transfers++
 	b.Bytes += uint64(n)
-	return b.res.Acquire(now, b.Occupancy(n))
+	occ := b.Occupancy(n)
+	start := b.res.Acquire(now, occ)
+	b.mXfer.Inc()
+	b.mBytes.Add(uint64(n))
+	b.hWait.Observe(uint64(start - now))
+	b.rec.Span("bus", "xfer", uint64(start), uint64(start+occ))
+	return start
 }
 
 // BusyCycles reports cumulative occupancy, for utilization stats.
@@ -61,6 +86,9 @@ func (b *Bus) BusyCycles() sim.Time { return b.res.BusyCycles() }
 
 // QueueDelay reports cumulative queuing delay imposed on transfers.
 func (b *Bus) QueueDelay() sim.Time { return b.res.WaitedCycles() }
+
+// Utilization is the fraction of [0, end) the bus spent transferring.
+func (b *Bus) Utilization(end sim.Time) float64 { return b.res.Utilization(end) }
 
 // Reset clears the timeline and statistics.
 func (b *Bus) Reset() {

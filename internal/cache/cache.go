@@ -8,7 +8,11 @@
 // same presence/dirty decisions the timing model makes.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"secmem/internal/obsv"
+)
 
 // Config describes a cache's geometry.
 type Config struct {
@@ -90,7 +94,18 @@ type Cache struct {
 	blockBits uint
 	lruClock  uint64
 
+	// Observability handles; nil-safe.
+	mHit  *obsv.Counter
+	mMiss *obsv.Counter
+
 	Stats Stats
+}
+
+// Instrument registers hit/miss counters under prefix (e.g. "l2.hit").
+// reg may be nil.
+func (c *Cache) Instrument(reg *obsv.Registry, prefix string) {
+	c.mHit = reg.Counter(prefix + ".hit")
+	c.mMiss = reg.Counter(prefix + ".miss")
 }
 
 // New builds a cache, panicking on invalid geometry (configuration is
@@ -152,6 +167,7 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 			if write {
 				set[i].dirty = true
 			}
+			c.mHit.Inc()
 			return true
 		}
 	}
@@ -160,6 +176,7 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 	} else {
 		c.Stats.ReadMisses++
 	}
+	c.mMiss.Inc()
 	return false
 }
 

@@ -9,6 +9,7 @@ import (
 	"secmem/internal/counterstore"
 	"secmem/internal/dram"
 	"secmem/internal/engine"
+	"secmem/internal/obsv"
 	"secmem/internal/reenc"
 	"secmem/internal/sim"
 )
@@ -68,6 +69,19 @@ type Controller struct {
 	wbQueue   []wbItem
 	pendingWB map[uint64]bool
 	draining  bool
+
+	// Observability handles (see obs.go); all nil when uninstrumented, so
+	// the hot path pays one predicted branch per hook.
+	reg          *obsv.Registry
+	rec          *obsv.Recorder
+	mFill        *obsv.Counter
+	mWB          *obsv.Counter
+	mTamper      *obsv.Counter
+	hTxn         *obsv.Histogram
+	merkleFetch  []*obsv.Counter // per tree level
+	merkleVerify []*obsv.Counter
+	merkleTrack  []string
+	txnSeq       uint64
 
 	Stats Stats
 }
@@ -240,7 +254,9 @@ func (c *Controller) counterReady(now sim.Time, addr uint64) (ready, authDone si
 	default:
 		c.Stats.CtrFetches++
 	}
-	arrive := c.fetch(now + c.sncLatency())
+	issueAt := now + c.sncLatency()
+	arrive := c.fetch(issueAt)
+	c.rec.Span("ctr", "fetch", uint64(issueAt), uint64(arrive))
 	if ev, evicted := c.ctrs.CacheFill(ctrBlk, arrive); evicted && ev.Dirty {
 		c.enqueueWB(arrive, ev.Addr)
 	}
@@ -275,6 +291,13 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) (dataReady, authDone s
 		return t, t, true
 	}
 	c.Stats.Fills++
+	c.mFill.Inc()
+	var txn uint64
+	if c.rec != nil {
+		c.txnSeq++
+		txn = c.txnSeq
+		c.rec.Begin("txn", "read", uint64(now), txn)
+	}
 	arrive := c.fetch(now)
 
 	var ctrReady, ctrAuth sim.Time
@@ -308,6 +331,11 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) (dataReady, authDone s
 	if c.fn != nil {
 		c.fn.onDataFill(now, addr)
 	}
+	if c.rec != nil {
+		end := sim.Max(dataReady, authDone)
+		c.rec.End("txn", "read", uint64(end), txn)
+		c.hTxn.Observe(uint64(end - now))
+	}
 	c.drain()
 	return dataReady, authDone, false
 }
@@ -338,6 +366,7 @@ func (c *Controller) authChain(now sim.Time, addr uint64, arrive sim.Time) sim.T
 		return arrive
 	}
 	done := c.macCheckDone(now, addr, arrive)
+	c.rec.Span("mac", "check", uint64(arrive), uint64(done))
 	prevDone := done
 	cur := addr
 	for {
@@ -371,6 +400,7 @@ func (c *Controller) authChain(now sim.Time, addr uint64, arrive sim.Time) sim.T
 			c.onNodeVictim(nodeArrive, ev)
 		}
 		nodeDone := c.macCheckDone(issueAt, mac, nodeArrive)
+		c.noteMerkleNode(mac, issueAt, nodeArrive, nodeDone)
 		if nodeDone > done {
 			done = nodeDone
 		}

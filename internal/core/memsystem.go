@@ -5,6 +5,7 @@ import (
 
 	"secmem/internal/cache"
 	"secmem/internal/config"
+	"secmem/internal/obsv"
 	"secmem/internal/sim"
 )
 
@@ -31,6 +32,9 @@ type MemSystem struct {
 	l1  *cache.Cache
 	l2  *cache.Cache
 	ctl *Controller
+
+	// reg is non-nil once Instrument has run (see obs.go).
+	reg *obsv.Registry
 }
 
 // NewMemSystem builds the hierarchy for a configuration.

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"secmem/internal/merkle"
+	"secmem/internal/obsv"
+	"secmem/internal/sim"
+)
+
+// Instrument registers the controller's metrics in reg and attaches the
+// trace recorder, wiring both through every owned substrate (bus, DRAM,
+// engines, counter store, RSR file, MAC cache). Either argument may be nil;
+// an uninstrumented controller pays one predicted branch per hook.
+//
+// The Registry and Recorder are not safe for concurrent use, so use one
+// pair per simulated machine.
+func (c *Controller) Instrument(reg *obsv.Registry, rec *obsv.Recorder) {
+	c.reg, c.rec = reg, rec
+	c.bus.Instrument(reg, rec)
+	c.mem.Instrument(reg, rec)
+	c.aes.Instrument(reg, rec)
+	if c.sha != nil {
+		c.sha.Instrument(reg, rec)
+	}
+	if c.ctrs != nil {
+		c.ctrs.Instrument(reg)
+	}
+	if c.rsrs != nil {
+		c.rsrs.Instrument(reg, rec)
+	}
+	if c.macCache != nil {
+		c.macCache.Instrument(reg, "maccache")
+	}
+	c.mFill = reg.Counter("ctl.fill")
+	c.mWB = reg.Counter("ctl.writeback")
+	c.mTamper = reg.Counter("ctl.tamper")
+	c.hTxn = reg.Histogram("ctl.read.cycles")
+	if c.lay.Geo != nil {
+		n := c.lay.Geo.NumLevels()
+		c.merkleFetch = make([]*obsv.Counter, n)
+		c.merkleVerify = make([]*obsv.Counter, n)
+		c.merkleTrack = make([]string, n)
+		for i := 0; i < n; i++ {
+			name := merkle.LevelName(i)
+			c.merkleFetch[i] = reg.Counter("merkle." + name + ".fetch")
+			c.merkleVerify[i] = reg.Counter("merkle." + name + ".verify")
+			c.merkleTrack[i] = "merkle." + name
+		}
+	}
+}
+
+// noteMerkleNode records one Merkle node fetch+verify against its level's
+// counters and emits the two spans that make level overlap visible in the
+// trace (fetch issueAt..arrive, verify arrive..done).
+func (c *Controller) noteMerkleNode(mac uint64, issueAt, arrive, done sim.Time) {
+	if c.merkleFetch == nil {
+		return
+	}
+	lvl := c.lay.Geo.LevelOf(mac)
+	if lvl < 0 || lvl >= len(c.merkleFetch) {
+		return
+	}
+	c.merkleFetch[lvl].Inc()
+	c.merkleVerify[lvl].Inc()
+	if c.rec != nil {
+		track := c.merkleTrack[lvl]
+		c.rec.Span(track, "fetch", uint64(issueAt), uint64(arrive))
+		c.rec.Span(track, "verify", uint64(arrive), uint64(done))
+	}
+}
+
+// ExportObs writes end-of-run derived metrics (utilizations, hit rates)
+// into the registry as gauges. end is the run's final cycle. No-op when the
+// controller was never instrumented.
+func (c *Controller) ExportObs(end sim.Time) {
+	if c.reg == nil {
+		return
+	}
+	c.reg.SetGauge("bus.util", c.bus.Utilization(end))
+	c.reg.SetGauge("dram.util", c.mem.Utilization(end))
+	c.reg.SetGauge("aes.util", c.aes.Utilization(end))
+	if c.sha != nil {
+		c.reg.SetGauge("sha.util", c.sha.Utilization(end))
+	}
+	if c.ctrs != nil {
+		c.reg.SetGauge("ctrcache.hitrate", c.ctrs.Stats.HitRate())
+	}
+	if c.rsrs != nil {
+		c.reg.SetGauge("rsr.max_concurrent", float64(c.rsrs.Stats.MaxConcurrent))
+		c.reg.SetGauge("rsr.onchip_fraction", c.rsrs.Stats.OnChipFraction())
+	}
+	if c.macCache != nil {
+		c.reg.SetGauge("maccache.hitrate", c.macCache.Stats.HitRate())
+	}
+}
+
+// Instrument wires the whole hierarchy (L1, L2, controller and its
+// substrates) into reg/rec. Either argument may be nil.
+func (m *MemSystem) Instrument(reg *obsv.Registry, rec *obsv.Recorder) {
+	m.reg = reg
+	m.l1.Instrument(reg, "l1")
+	m.l2.Instrument(reg, "l2")
+	m.ctl.Instrument(reg, rec)
+}
+
+// ExportObs writes end-of-run derived metrics for the hierarchy and the
+// controller below it. No-op when uninstrumented.
+func (m *MemSystem) ExportObs(end sim.Time) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.SetGauge("l1.hitrate", m.l1.Stats.HitRate())
+	m.reg.SetGauge("l2.hitrate", m.l2.Stats.HitRate())
+	m.ctl.ExportObs(end)
+}

@@ -16,6 +16,7 @@ import (
 
 	"secmem/internal/cache"
 	"secmem/internal/config"
+	"secmem/internal/obsv"
 	"secmem/internal/sim"
 )
 
@@ -173,7 +174,23 @@ type Store struct {
 	cache   *cache.Cache
 	pending map[uint64]sim.Time // counter block addr -> fetch completion
 
+	// Observability handles; nil-safe.
+	mHit      *obsv.Counter
+	mHalfMiss *obsv.Counter
+	mMiss     *obsv.Counter
+	mIncr     *obsv.Counter
+	mOverflow *obsv.Counter
+
 	Stats Stats
+}
+
+// Instrument registers the counter cache's metrics in reg (may be nil).
+func (s *Store) Instrument(reg *obsv.Registry) {
+	s.mHit = reg.Counter("ctrcache.hit")
+	s.mHalfMiss = reg.Counter("ctrcache.halfmiss")
+	s.mMiss = reg.Counter("ctrcache.miss")
+	s.mIncr = reg.Counter("ctrcache.incr")
+	s.mOverflow = reg.Counter("ctrcache.overflow")
 }
 
 // New builds a store.
@@ -280,12 +297,14 @@ func (s *Store) Increment(addr uint64) (newValue uint64, ov Overflow) {
 		return s.values[addr], Overflow{}
 	}
 	s.Stats.Increments++
+	s.mIncr.Inc()
 	s.trackGrowth(addr)
 	switch s.cfg.Org {
 	case OrgSplit:
 		m := s.minors[addr] + 1
 		if m >= 1<<uint(s.cfg.MinorBits) {
 			s.Stats.MinorOverflows++
+			s.mOverflow.Inc()
 			s.minors[addr] = 0
 			return s.Value(addr), Overflow{Kind: PageOverflow, PageAddr: s.PageAddr(addr)}
 		}
@@ -298,6 +317,7 @@ func (s *Store) Increment(addr uint64) (newValue uint64, ov Overflow) {
 			s.global = 0
 			wrapped = true
 			s.Stats.FullOverflows++
+			s.mOverflow.Inc()
 		}
 		s.values[addr] = s.global
 		if wrapped {
@@ -309,6 +329,7 @@ func (s *Store) Increment(addr uint64) (newValue uint64, ov Overflow) {
 		if s.cfg.Bits < 64 && v >= 1<<uint(s.cfg.Bits) {
 			s.values[addr] = 0
 			s.Stats.FullOverflows++
+			s.mOverflow.Inc()
 			return 0, Overflow{Kind: FullOverflow}
 		}
 		s.values[addr] = v
@@ -381,20 +402,24 @@ func (s *Store) CacheLookup(addr uint64, now sim.Time) (res LookupResult, readyA
 	ctrBlock = s.CounterBlockAddr(addr)
 	if s.cache == nil {
 		s.Stats.Misses++
+		s.mMiss.Inc()
 		return Miss, 0, ctrBlock
 	}
 	if s.cache.Lookup(ctrBlock, false) {
 		if t, ok := s.pending[ctrBlock]; ok {
 			if t > now {
 				s.Stats.HalfMisses++
+				s.mHalfMiss.Inc()
 				return HalfMiss, t, ctrBlock
 			}
 			delete(s.pending, ctrBlock)
 		}
 		s.Stats.Hits++
+		s.mHit.Inc()
 		return Hit, now, ctrBlock
 	}
 	s.Stats.Misses++
+	s.mMiss.Inc()
 	return Miss, 0, ctrBlock
 }
 

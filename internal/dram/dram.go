@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"secmem/internal/obsv"
 	"secmem/internal/sim"
 )
 
@@ -50,6 +51,19 @@ type DRAM struct {
 
 	Reads  uint64
 	Writes uint64
+
+	// Observability handles; nil-safe.
+	mRead  *obsv.Counter
+	mWrite *obsv.Counter
+	rec    *obsv.Recorder
+}
+
+// Instrument registers the device's metrics in reg and attaches the trace
+// recorder. Either argument may be nil.
+func (d *DRAM) Instrument(reg *obsv.Registry, rec *obsv.Recorder) {
+	d.mRead = reg.Counter("dram.read")
+	d.mWrite = reg.Counter("dram.write")
+	d.rec = rec
 }
 
 // New creates a DRAM device.
@@ -74,15 +88,25 @@ func (d *DRAM) Config() Config { return d.cfg }
 // (typically after the bus grant) and returns the data-available cycle.
 func (d *DRAM) AccessRead(now sim.Time) sim.Time {
 	d.Reads++
-	return d.pipe.Issue(now)
+	done, start := d.pipe.IssueStart(now)
+	d.mRead.Inc()
+	d.rec.Span("dram", "read", uint64(start), uint64(done))
+	return done
 }
 
 // AccessWrite reserves device service for a block write. Writes are posted:
 // the returned cycle is when the device has absorbed the data.
 func (d *DRAM) AccessWrite(now sim.Time) sim.Time {
 	d.Writes++
-	return d.pipe.Issue(now)
+	done, start := d.pipe.IssueStart(now)
+	d.mWrite.Inc()
+	d.rec.Span("dram", "write", uint64(start), uint64(done))
+	return done
 }
+
+// Utilization is the fraction of [0, end) the device spent servicing
+// accesses (occupancy of its service pipeline).
+func (d *DRAM) Utilization(end sim.Time) float64 { return d.pipe.Utilization(end) }
 
 func (d *DRAM) checkAddr(addr uint64) {
 	if addr%BlockSize != 0 {

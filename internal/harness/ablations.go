@@ -101,13 +101,13 @@ func (r *Runner) sweep(mk func() []config.SystemConfig, labels []string) []Ablat
 	return rows
 }
 
-func ablationTable(title string, rows []AblationRow) stats.Table {
+func (r *Runner) ablationTable(title string, rows []AblationRow) stats.Table {
 	tbl := stats.Table{
 		Title: title,
 		Cols:  []string{"config", "norm IPC", "page reencs", "stall cycles", "mean reenc cyc"},
 	}
 	for _, row := range rows {
-		tbl.AddRow(row.Label, stats.F(row.NormIPC),
+		r.addRow(&tbl, row.Label, stats.F(row.NormIPC),
 			fmt.Sprintf("%d", row.PageReencs),
 			fmt.Sprintf("%d", row.StallCycles),
 			fmt.Sprintf("%.0f", row.MeanCycles))
@@ -131,7 +131,7 @@ func (r *Runner) AblateRSRs() (stats.Table, []AblationRow) {
 		}
 		return cfgs
 	}, labels)
-	return ablationTable("Ablation: RSR count (split, 4-bit minors, 128KB-L2 stress)", rows), rows
+	return r.ablationTable("Ablation: RSR count (split, 4-bit minors, 128KB-L2 stress)", rows), rows
 }
 
 // AblateMinorBits sweeps the minor counter width: smaller minors mean more
@@ -157,7 +157,7 @@ func (r *Runner) AblateMinorBits() (stats.Table, []AblationRow) {
 		}
 		return cfgs
 	}, labels)
-	return ablationTable("Ablation: minor counter width (split, 128KB-L2 stress)", rows), rows
+	return r.ablationTable("Ablation: minor counter width (split, 128KB-L2 stress)", rows), rows
 }
 
 // AblatePageSize sweeps the encryption page size (Section 4.1: a 32-byte
@@ -183,7 +183,7 @@ func (r *Runner) AblatePageSize() (stats.Table, []AblationRow) {
 		}
 		return cfgs
 	}, labels)
-	return ablationTable("Ablation: encryption page size (split, 128KB-L2 stress)", rows), rows
+	return r.ablationTable("Ablation: encryption page size (split, 128KB-L2 stress)", rows), rows
 }
 
 // AblateMacCache compares caching Merkle nodes in the shared L2 (the
@@ -207,7 +207,7 @@ func (r *Runner) AblateMacCache() (stats.Table, []AblationRow) {
 		}
 		return cfgs
 	}, labels)
-	return ablationTable("Ablation: Merkle node caching (Split+GCM)", rows), rows
+	return r.ablationTable("Ablation: Merkle node caching (Split+GCM)", rows), rows
 }
 
 // AblateMonoCharge quantifies what Figure 4 hides: Mono8b with whole-memory
@@ -223,5 +223,5 @@ func (r *Runner) AblateMonoCharge() (stats.Table, []AblationRow) {
 		split := stress(EncOnly(config.EncCounterSplit, 64))
 		return []config.SystemConfig{free, charged, split}
 	}, labels)
-	return ablationTable("Ablation: charging whole-memory re-encryption (Mono8b, 128KB-L2 stress)", rows), rows
+	return r.ablationTable("Ablation: charging whole-memory re-encryption (Mono8b, 128KB-L2 stress)", rows), rows
 }

@@ -90,14 +90,14 @@ func (r *Runner) normGrid(schemes map[string]config.SystemConfig) (FigData, map[
 	return data, outs
 }
 
-func gridTable(title string, data FigData, schemes, shown []string) stats.Table {
+func (r *Runner) gridTable(title string, data FigData, schemes, shown []string) stats.Table {
 	tbl := stats.Table{Title: title, Cols: append([]string{"bench"}, schemes...)}
 	for _, b := range append(append([]string{}, shown...), "Avg") {
 		row := []string{b}
 		for _, s := range schemes {
 			row = append(row, stats.F(data[s][b]))
 		}
-		tbl.AddRow(row...)
+		r.addRow(&tbl, row...)
 	}
 	return tbl
 }
@@ -117,7 +117,7 @@ func (r *Runner) Fig4() (stats.Table, FigData) {
 	}
 	data, outs := r.normGrid(schemes)
 	order := []string{"Split", "Mono8b", "Mono16b", "Mono32b", "Mono64b", "Direct"}
-	tbl := gridTable("Figure 4: Normalized IPC, encryption schemes (no authentication)",
+	tbl := r.gridTable("Figure 4: Normalized IPC, encryption schemes (no authentication)",
 		data, order, Fig4Benches)
 	var totalReencs uint64
 	for _, out := range outs["Mono8b"] {
@@ -213,7 +213,7 @@ func (r *Runner) Table2() (stats.Table, FigData) {
 		for _, d := range defs {
 			row = append(row, stats.Duration(overflow[d.name][b]))
 		}
-		tbl.AddRow(row...)
+		r.addRow(&tbl, row...)
 	}
 	tbl.AddNote("r/s = fastest-counter increments per simulated second (Global32b: total write-backs)")
 	return tbl, overflow
@@ -392,7 +392,7 @@ func (r *Runner) Fig7() (stats.Table, FigData) {
 	}
 	data, _ := r.normGrid(schemes)
 	order := []string{"GCM", "SHA-1 (80)", "SHA-1 (160)", "SHA-1 (320)", "SHA-1 (640)"}
-	tbl := gridTable("Figure 7: Normalized IPC, memory authentication (no encryption)",
+	tbl := r.gridTable("Figure 7: Normalized IPC, memory authentication (no encryption)",
 		data, order, Fig7Benches)
 	return tbl, data
 }
@@ -433,7 +433,7 @@ func (r *Runner) Fig9() (stats.Table, FigData) {
 		schemes[name] = Combined(name)
 	}
 	data, _ := r.normGrid(schemes)
-	tbl := gridTable("Figure 9: Normalized IPC, combined encryption + authentication",
+	tbl := r.gridTable("Figure 9: Normalized IPC, combined encryption + authentication",
 		data, CombinedNames(), Fig9Benches)
 	return tbl, data
 }
@@ -469,7 +469,7 @@ func (r *Runner) Fig10() (stats.Table, FigData) {
 		for _, name := range CombinedNames() {
 			row = append(row, stats.F(data[name+keys[vi]]["Avg"]))
 		}
-		tbl.AddRow(row...)
+		r.addRow(&tbl, row...)
 	}
 	return tbl, data
 }

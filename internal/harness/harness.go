@@ -9,14 +9,17 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"secmem/internal/config"
 	"secmem/internal/core"
 	"secmem/internal/cpu"
+	"secmem/internal/obsv"
 	"secmem/internal/predictor"
 	"secmem/internal/reenc"
+	"secmem/internal/stats"
 	"secmem/internal/trace"
 )
 
@@ -99,6 +102,34 @@ type Runner struct {
 
 	mu        sync.Mutex
 	baselines map[string]float64
+	tableErr  error
+}
+
+// noteTableErr records the first malformed-figure-row error. Figure tables
+// are assembled from dynamic slices; an arity bug should fail the whole run
+// with context (via Err) rather than panic mid-campaign.
+func (r *Runner) noteTableErr(err error) {
+	r.mu.Lock()
+	if r.tableErr == nil {
+		r.tableErr = err
+	}
+	r.mu.Unlock()
+}
+
+// Err reports the first table-assembly error encountered by any figure or
+// ablation built so far; drivers check it after rendering and fail the run.
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tableErr
+}
+
+// addRow appends a dynamically assembled row via TryAddRow, converting a
+// malformed row into a run-failing error that names the table and row.
+func (r *Runner) addRow(tbl *stats.Table, cells ...string) {
+	if err := tbl.TryAddRow(cells...); err != nil {
+		r.noteTableErr(fmt.Errorf("harness: %w (row %q)", err, cells))
+	}
 }
 
 // New builds a Runner.
@@ -109,15 +140,37 @@ func New(opt Options) *Runner {
 	return &Runner{Opt: opt, baselines: make(map[string]float64)}
 }
 
+// Obs bundles the observability sinks of an instrumented run. Either field
+// may be nil; the zero Obs means "uninstrumented".
+type Obs struct {
+	Reg *obsv.Registry
+	Rec *obsv.Recorder
+}
+
 // Run simulates one (benchmark, configuration) pair.
 func (r *Runner) Run(bench string, cfg config.SystemConfig) RunOut {
+	return r.RunObserved(bench, cfg, Obs{})
+}
+
+// RunObserved is Run with observability attached: the memory system is
+// instrumented against obs before the workload starts, and end-of-run
+// utilization gauges are exported at the run's final cycle. Counters
+// accumulate across successive runs sharing a registry; gauges reflect the
+// latest run.
+func (r *Runner) RunObserved(bench string, cfg config.SystemConfig, obs Obs) RunOut {
 	mem, err := core.NewMemSystem(cfg)
 	if err != nil {
 		panic(err) // configurations are code, not input
 	}
+	if obs.Reg != nil || obs.Rec != nil {
+		mem.Instrument(obs.Reg, obs.Rec)
+	}
 	gen := trace.NewGenerator(trace.Get(bench), r.Opt.Seed)
 	c := cpu.New(cfg, mem)
 	res := c.Run(gen, r.Opt.Instructions)
+	if obs.Reg != nil {
+		mem.ExportObs(res.Cycles)
+	}
 	if cfg.ChargeMonoReenc {
 		// Whole-memory re-encryption freezes are charged by adding their
 		// analytic cost to the run's cycle count (the processor does
@@ -306,4 +359,47 @@ func (r *Runner) RunPredictor(bench string, engines int) (cpu.Result, predictor.
 	c := cpu.New(sys, p)
 	res := c.Run(gen, r.Opt.Instructions)
 	return res, p.Stats
+}
+
+// MetricDelta is one benchmark's observability difference between a
+// protected run and the unprotected baseline: counters are protected minus
+// baseline; gauges are the protected run's end-of-run values.
+type MetricDelta struct {
+	Bench    string             `json:"bench"`
+	Scheme   string             `json:"scheme"`
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// MetricDeltas runs every benchmark in the campaign twice — unprotected
+// baseline and cfg — each with its own registry (registries are not safe
+// for concurrent use, so runs never share one), and returns per-benchmark
+// counter deltas in campaign order.
+func (r *Runner) MetricDeltas(cfg config.SystemConfig) []MetricDelta {
+	benches := r.Opt.benches()
+	out := make([]MetricDelta, len(benches))
+	r.parallelFor(len(benches), func(i int) {
+		b := benches[i]
+		base := obsv.NewRegistry()
+		prot := obsv.NewRegistry()
+		r.RunObserved(b, config.Baseline(), Obs{Reg: base})
+		r.RunObserved(b, cfg, Obs{Reg: prot})
+		bs, ps := base.Snapshot(), prot.Snapshot()
+		d := MetricDelta{
+			Bench:    b,
+			Scheme:   cfg.SchemeName(),
+			Counters: make(map[string]int64, len(ps.Counters)),
+			Gauges:   ps.Gauges,
+		}
+		for name, v := range ps.Counters {
+			d.Counters[name] = int64(v) - int64(bs.Counters[name])
+		}
+		for name, v := range bs.Counters {
+			if _, ok := ps.Counters[name]; !ok {
+				d.Counters[name] = -int64(v)
+			}
+		}
+		out[i] = d
+	})
+	return out
 }

@@ -71,6 +71,16 @@ func NewGeometry(leafBytes, macBase uint64, macBits int) *Geometry {
 // NumLevels is the number of MAC levels below the on-chip root.
 func (g *Geometry) NumLevels() int { return len(g.Levels) }
 
+// LevelName is the canonical metric/trace name for a tree level: "leaf" for
+// -1 (the LevelOf convention for leaves), otherwise "levelN". Observability
+// names like "merkle.level2.fetch" are built from it.
+func LevelName(level int) string {
+	if level < 0 {
+		return "leaf"
+	}
+	return fmt.Sprintf("level%d", level)
+}
+
 // End returns the first address past the MAC region.
 func (g *Geometry) End() uint64 {
 	top := g.Levels[len(g.Levels)-1]

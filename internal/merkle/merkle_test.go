@@ -201,3 +201,20 @@ func TestBadGeometryPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestLevelName(t *testing.T) {
+	cases := []struct {
+		level int
+		want  string
+	}{
+		{-1, "leaf"},
+		{0, "level0"},
+		{2, "level2"},
+		{11, "level11"},
+	}
+	for _, c := range cases {
+		if got := LevelName(c.level); got != c.want {
+			t.Errorf("LevelName(%d) = %q, want %q", c.level, got, c.want)
+		}
+	}
+}

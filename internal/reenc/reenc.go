@@ -15,6 +15,7 @@ package reenc
 import (
 	"fmt"
 
+	"secmem/internal/obsv"
 	"secmem/internal/sim"
 )
 
@@ -84,6 +85,21 @@ type File struct {
 	regs       []Register
 	pageBlocks int
 	Stats      Stats
+
+	// Observability handles; nil-safe.
+	mReenc  *obsv.Counter
+	mStall  *obsv.Counter
+	hCycles *obsv.Histogram
+	rec     *obsv.Recorder
+}
+
+// Instrument registers the RSR file's metrics in reg and attaches the trace
+// recorder. Either argument may be nil.
+func (f *File) Instrument(reg *obsv.Registry, rec *obsv.Recorder) {
+	f.mReenc = reg.Counter("rsr.pagereenc")
+	f.mStall = reg.Counter("rsr.stall")
+	f.hCycles = reg.Histogram("rsr.cycles")
+	f.rec = rec
 }
 
 // NewFile builds a file of n registers for pageBlocks-block pages.
@@ -123,6 +139,7 @@ func (f *File) Allocate(now sim.Time, page, oldMajor uint64) (*Register, sim.Tim
 	if b := f.Busy(now, page); b != nil {
 		// Same-page overflow while still re-encrypting: stall until freed.
 		f.Stats.SamePageStalls++
+		f.mStall.Inc()
 		f.Stats.StallCycles += b.FreeAt - now
 		start = b.FreeAt
 	}
@@ -135,6 +152,7 @@ func (f *File) Allocate(now sim.Time, page, oldMajor uint64) (*Register, sim.Tim
 	}
 	if best.FreeAt > start {
 		f.Stats.AllocStalls++
+		f.mStall.Inc()
 		f.Stats.StallCycles += best.FreeAt - start
 		start = best.FreeAt
 	}
@@ -159,6 +177,7 @@ func (f *File) Allocate(now sim.Time, page, oldMajor uint64) (*Register, sim.Tim
 		best.done[i] = false
 	}
 	f.Stats.PageReencs++
+	f.mReenc.Inc()
 	return best, start
 }
 
@@ -177,6 +196,8 @@ func (f *File) Complete(r *Register, completeAt sim.Time) {
 	if d > f.Stats.MaxCycles {
 		f.Stats.MaxCycles = d
 	}
+	f.hCycles.Observe(uint64(d))
+	f.rec.SpanID("rsr", "reenc", uint64(r.StartedAt), uint64(completeAt), r.PageAddr)
 }
 
 // NoteOnChip counts a block handled lazily in cache.

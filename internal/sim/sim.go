@@ -50,8 +50,22 @@ func (r *Resource) BusyCycles() Time { return r.busy }
 // Requests reports how many acquisitions have been made.
 func (r *Resource) Requests() uint64 { return r.requests }
 
-// WaitedCycles reports the cumulative queuing delay imposed on requests.
+// Waited reports the cumulative queuing delay imposed on requests.
+func (r *Resource) Waited() Time { return r.waited }
+
+// WaitedCycles is an alias for Waited, kept alongside BusyCycles for the
+// existing statistics call sites.
 func (r *Resource) WaitedCycles() Time { return r.waited }
+
+// Utilization reports the fraction of [0, end) the resource was occupied.
+// It returns 0 for end == 0 and can exceed 1 only if callers keep acquiring
+// past end (the caller chooses end, normally the run's final cycle).
+func (r *Resource) Utilization(end Time) float64 {
+	if end == 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(end)
+}
 
 // Reset returns the resource to its initial idle state.
 func (r *Resource) Reset() { *r = Resource{} }
@@ -110,6 +124,15 @@ func (p *Pipeline) Issues() uint64 { return p.issues }
 
 // BusyCycles reports cumulative issue-slot occupancy across engines.
 func (p *Pipeline) BusyCycles() Time { return p.busy }
+
+// Utilization reports issue-slot occupancy over [0, end) across all
+// engines: busy cycles divided by engines x end. 0 for end == 0.
+func (p *Pipeline) Utilization(end Time) float64 {
+	if end == 0 {
+		return 0
+	}
+	return float64(p.busy) / (float64(end) * float64(len(p.next)))
+}
 
 // Engines reports the configured engine count.
 func (p *Pipeline) Engines() int { return len(p.next) }

@@ -36,6 +36,44 @@ func TestResourceQueuing(t *testing.T) {
 	if r.Requests() != 3 {
 		t.Errorf("requests = %d, want 3", r.Requests())
 	}
+	if r.Waited() != r.WaitedCycles() {
+		t.Errorf("Waited() = %d disagrees with WaitedCycles() = %d", r.Waited(), r.WaitedCycles())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	var r Resource
+	if got := r.Utilization(0); got != 0 {
+		t.Errorf("empty utilization over zero cycles = %v, want 0", got)
+	}
+	r.Acquire(0, 25)
+	r.Acquire(50, 25)
+	if got := r.Utilization(100); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5 (50 busy of 100)", got)
+	}
+	if got := r.Utilization(200); got != 0.25 {
+		t.Errorf("utilization = %v, want 0.25 (50 busy of 200)", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Errorf("utilization over zero cycles = %v, want 0", got)
+	}
+}
+
+func TestPipelineUtilization(t *testing.T) {
+	p := NewPipeline(2, 5, 80)
+	if got := p.Utilization(100); got != 0 {
+		t.Errorf("idle utilization = %v, want 0", got)
+	}
+	// Four issues occupy 4 x II = 20 slot-cycles across 2 engines.
+	for i := 0; i < 4; i++ {
+		p.Issue(0)
+	}
+	if got := p.Utilization(100); got != 0.1 {
+		t.Errorf("utilization = %v, want 0.1 (20 of 2x100)", got)
+	}
+	if got := p.Utilization(0); got != 0 {
+		t.Errorf("utilization over zero cycles = %v, want 0", got)
+	}
 }
 
 func TestResourceMonotonicStarts(t *testing.T) {

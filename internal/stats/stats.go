@@ -18,13 +18,24 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends a row; cells beyond the column count panic early.
-func (t *Table) AddRow(cells ...string) {
+// TryAddRow appends a row, rejecting arity mismatches with an error that
+// names the table. Dynamically assembled rows (figure grids, sweeps) use
+// this so a malformed row fails the run with context.
+func (t *Table) TryAddRow(cells ...string) error {
 	if len(cells) != len(t.Cols) {
-		panic(fmt.Sprintf("stats: row has %d cells, table %q has %d columns",
-			len(cells), t.Title, len(t.Cols)))
+		return fmt.Errorf("stats: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Cols))
 	}
 	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// AddRow appends a row whose arity is statically known; mismatches panic
+// early (they are programming errors at the call site).
+func (t *Table) AddRow(cells ...string) {
+	if err := t.TryAddRow(cells...); err != nil {
+		panic(err.Error())
+	}
 }
 
 // AddNote appends a footnote line.

@@ -48,6 +48,28 @@ func TestAddRowPanicsOnWidthMismatch(t *testing.T) {
 	tbl.AddRow("only-one")
 }
 
+func TestTryAddRow(t *testing.T) {
+	tbl := Table{Title: "T", Cols: []string{"a", "b"}}
+	if err := tbl.TryAddRow("1", "2"); err != nil {
+		t.Fatalf("well-formed row rejected: %v", err)
+	}
+	err := tbl.TryAddRow("only-one")
+	if err == nil {
+		t.Fatal("short row accepted")
+	}
+	for _, want := range []string{"1 cells", `"T"`, "2 columns"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if err := tbl.TryAddRow("1", "2", "3"); err == nil {
+		t.Fatal("long row accepted")
+	}
+	if len(tbl.Rows) != 1 {
+		t.Errorf("rejected rows were appended: %d rows", len(tbl.Rows))
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if F(0.12345) != "0.123" {
 		t.Errorf("F = %s", F(0.12345))

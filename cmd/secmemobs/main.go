@@ -87,6 +87,7 @@ type traceEvent struct {
 	Ph   string  `json:"ph"`
 	Ts   uint64  `json:"ts"`
 	Dur  *uint64 `json:"dur"`
+	ID   string  `json:"id"`
 }
 
 func loadTrace(path string) []traceEvent {
@@ -122,9 +123,12 @@ func validateSnapshot(snap obsv.Snapshot) []string {
 	return errs
 }
 
-// validateTrace checks that the timeline is non-trivial and shows at least
-// one pair of overlapping spans on different Merkle levels — the parallel
-// level authentication the trace exists to make visible.
+// validateTrace checks that the timeline is non-trivial, that every async
+// range opened by a 'b' event is closed by a matching 'e' event (same
+// cat/name/id, end ts >= begin ts — otherwise Perfetto renders the range at
+// a bogus time or never closes it), and that it shows at least one pair of
+// overlapping spans on different Merkle levels — the parallel level
+// authentication the trace exists to make visible.
 func validateTrace(events []traceEvent) []string {
 	var errs []string
 	var complete, txns int
@@ -133,6 +137,8 @@ func validateTrace(events []traceEvent) []string {
 		lo, hi uint64
 	}
 	var merkle []span
+	type rangeKey struct{ cat, name, id string }
+	open := map[rangeKey]uint64{}
 	for _, e := range events {
 		switch e.Ph {
 		case "X":
@@ -142,8 +148,34 @@ func validateTrace(events []traceEvent) []string {
 			}
 		case "b":
 			txns++
+			k := rangeKey{e.Cat, e.Name, e.ID}
+			if e.ID == "" {
+				errs = append(errs, fmt.Sprintf("'b' event %s/%s at ts=%d has no id", e.Cat, e.Name, e.Ts))
+			} else if _, dup := open[k]; dup {
+				errs = append(errs, fmt.Sprintf("duplicate open 'b' event %s/%s id=%s", e.Cat, e.Name, e.ID))
+			} else {
+				open[k] = e.Ts
+			}
+		case "e":
+			k := rangeKey{e.Cat, e.Name, e.ID}
+			begin, ok := open[k]
+			if !ok {
+				errs = append(errs, fmt.Sprintf("'e' event %s/%s id=%s has no matching 'b'", e.Cat, e.Name, e.ID))
+				continue
+			}
+			if e.Ts < begin {
+				errs = append(errs, fmt.Sprintf("async range %s/%s id=%s ends at ts=%d before it begins at ts=%d",
+					e.Cat, e.Name, e.ID, e.Ts, begin))
+			}
+			delete(open, k)
 		}
 	}
+	var unclosed []string
+	for k := range open {
+		unclosed = append(unclosed, fmt.Sprintf("'b' event %s/%s id=%s never closed by an 'e'", k.cat, k.name, k.id))
+	}
+	sort.Strings(unclosed)
+	errs = append(errs, unclosed...)
 	if complete == 0 {
 		errs = append(errs, "trace has no complete ('X') events")
 	}

@@ -116,15 +116,21 @@ func main() {
 		fatalf("unknown benchmark %q; available: %s, all", *bench, strings.Join(trace.Names(), " "))
 	}
 
-	// One registry/recorder pair is shared across the (sequential) runs:
-	// counters accumulate over all selected benchmarks; gauges reflect the
-	// last run. Baseline runs stay uninstrumented so the metrics describe
-	// the protected configuration only.
+	// One registry is shared across the (sequential) runs: counters
+	// accumulate over all selected benchmarks; gauges reflect the last run.
+	// The trace recorder is single-benchmark only — every run restarts at
+	// cycle 0, so spans from a second run would overlap the first on the
+	// same tracks and make the timeline ambiguous. Baseline runs stay
+	// uninstrumented so the metrics describe the protected configuration
+	// only.
 	var obs harness.Obs
 	if *metricsOut != "" {
 		obs.Reg = obsv.NewRegistry()
 	}
 	if *traceOut != "" {
+		if len(benches) > 1 {
+			fatalf("-trace requires a single benchmark (runs restart at cycle 0 and would overlap in the timeline); pick one with -bench")
+		}
 		obs.Rec = obsv.NewRecorder(*traceLimit)
 	}
 

@@ -296,7 +296,7 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) (dataReady, authDone s
 	if c.rec != nil {
 		c.txnSeq++
 		txn = c.txnSeq
-		c.rec.Begin("txn", "read", uint64(now), txn)
+		c.rec.Begin("txn", "read", txn, uint64(now))
 	}
 	arrive := c.fetch(now)
 
@@ -331,10 +331,10 @@ func (c *Controller) ReadBlock(now sim.Time, addr uint64) (dataReady, authDone s
 	if c.fn != nil {
 		c.fn.onDataFill(now, addr)
 	}
+	end := sim.Max(dataReady, authDone)
+	c.hTxn.Observe(uint64(end - now))
 	if c.rec != nil {
-		end := sim.Max(dataReady, authDone)
-		c.rec.End("txn", "read", uint64(end), txn)
-		c.hTxn.Observe(uint64(end - now))
+		c.rec.End("txn", "read", txn, uint64(end))
 	}
 	c.drain()
 	return dataReady, authDone, false

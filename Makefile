@@ -1,9 +1,6 @@
 GO ?= go
 
-# Race-detector coverage for the packages with concurrent state.
-RACE_PKGS = ./internal/core ./internal/engine ./internal/counterstore
-
-.PHONY: all build test race vet lint bench trace-smoke ci
+.PHONY: all build test race vet lint lint-bench bench trace-smoke ci
 
 all: build
 
@@ -14,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +20,12 @@ vet:
 # "Static analysis & invariants" sections of README.md / DESIGN.md.
 lint:
 	$(GO) run ./cmd/secmemlint ./...
+
+# Wall-time of a full-repository lint run (load + typecheck + all eight
+# analyzers, including the taint fixpoints); guards against the suite
+# becoming too slow to keep in the default CI path.
+lint-bench:
+	$(GO) test -run='^$$' -bench=BenchmarkLintRepo -benchtime=3x ./internal/lint
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

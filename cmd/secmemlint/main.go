@@ -13,10 +13,17 @@
 //
 // Flags:
 //
-//	-json             emit findings as a JSON array
+//	-format f         output format: text (default), json, or github
+//	                  (GitHub Actions ::error workflow annotations)
+//	-json             shorthand for -format=json
 //	-enable  a,b,...  run only the named analyzers
 //	-disable a,b,...  skip the named analyzers
 //	-list             print the analyzer suite and exit
+//
+// The suite includes the taint-tracking analyzers (secretflow, cttiming,
+// taintescape), which are seeded by "//secmemlint:secret" annotations on
+// struct fields, variables, and function parameters/results; see
+// internal/lint/taint.go for the annotation grammar.
 //
 // Deliberate exceptions are silenced at the site with a
 // "//secmemlint:ignore <analyzer> <reason>" comment; the reason is required.
@@ -34,11 +41,21 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	format := flag.String("format", "text", "output format: text, json, or github")
+	jsonOut := flag.Bool("json", false, "shorthand for -format=json")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
 	flag.Parse()
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "secmemlint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
+	}
 
 	analyzers := lint.All()
 	if *list {
@@ -70,7 +87,8 @@ func main() {
 
 	diags := lint.Run(pkgs, analyzers)
 	relativize(diags)
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -80,7 +98,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "secmemlint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case "github":
+		for _, d := range diags {
+			fmt.Println(githubAnnotation(d))
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
@@ -88,6 +110,28 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// githubAnnotation renders a diagnostic as a GitHub Actions workflow command
+// so findings surface inline on the pull-request diff:
+//
+//	::error file=internal/core/x.go,line=12,col=3,title=secmemlint/maccompare::message
+func githubAnnotation(d lint.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		escapeProperty(d.File), d.Line, d.Col,
+		escapeProperty("secmemlint/"+d.Analyzer), escapeData(d.Message))
+}
+
+// escapeData escapes a workflow-command message per the Actions runner rules.
+func escapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// escapeProperty additionally escapes the property-value delimiters.
+func escapeProperty(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
 }
 
 // selectAnalyzers applies -enable / -disable, rejecting unknown names so a

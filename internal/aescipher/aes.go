@@ -95,12 +95,16 @@ func init() {
 // Cipher is an expanded-key AES instance. It is safe for concurrent use
 // once created: all methods are read-only with respect to the receiver.
 type Cipher struct {
-	enc    []uint32 // round keys for encryption
-	dec    []uint32 // round keys for decryption (equivalent inverse cipher)
+	//secmemlint:secret — round keys for encryption (expanded key schedule)
+	enc []uint32
+	//secmemlint:secret — round keys for decryption (equivalent inverse cipher)
+	dec    []uint32
 	rounds int
 }
 
 // New expands key (16, 24, or 32 bytes for AES-128/192/256) into a Cipher.
+//
+//secmemlint:secret key
 func New(key []byte) (*Cipher, error) {
 	var rounds int
 	switch len(key) {
@@ -120,6 +124,8 @@ func New(key []byte) (*Cipher, error) {
 
 // MustNew is New but panics on a bad key size; convenient for fixed-size
 // keys generated inside the simulator.
+//
+//secmemlint:secret key
 func MustNew(key []byte) *Cipher {
 	c, err := New(key)
 	if err != nil {
@@ -128,13 +134,20 @@ func MustNew(key []byte) *Cipher {
 	return c
 }
 
+// subWord applies the S-box to each byte of a key-schedule word. The
+// lookups are secret-indexed — the canonical AES cache-timing channel —
+// and are suppressed per line because this code models the hardware
+// engine's combinational S-box, where no cache exists (Section 5).
+//
+//secmemlint:secret w
 func subWord(w uint32) uint32 {
-	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
-		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 | //secmemlint:ignore cttiming models the hardware engine's combinational S-box; software table timing out of scope
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff]) //secmemlint:ignore cttiming models the hardware engine's combinational S-box; software table timing out of scope
 }
 
 func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
 
+//secmemlint:secret key
 func (c *Cipher) expandKey(key []byte) {
 	nk := len(key) / 4
 	n := 4 * (c.rounds + 1)
@@ -229,6 +242,7 @@ func (c *Cipher) Decrypt(dst, src []byte) {
 // The state is stored column-major as FIPS-197 does: s[4*c+r] is row r,
 // column c. Round keys are one uint32 per column, big-endian.
 
+//secmemlint:secret rk
 func addRoundKey(s *[16]byte, rk []uint32) {
 	for col := 0; col < 4; col++ {
 		w := rk[col]

@@ -23,8 +23,10 @@ type Tamper struct {
 // invoked from the corresponding timing path, so the functional view of
 // what is on-chip always matches the cache models.
 type functional struct {
-	c      *Controller
-	key    [16]byte
+	c *Controller
+	//secmemlint:secret — AES memory-encryption key (on-chip only)
+	key [16]byte
+	//secmemlint:secret — SHA-1 MAC key for the AuthSHA1 configuration
 	shaKey []byte
 	epoch  byte
 	pads   *gcmmode.PadGen
@@ -33,6 +35,8 @@ type functional struct {
 	// plain holds decrypted data blocks currently resident on-chip; meta
 	// holds the contents of on-chip Merkle nodes. Counter-block contents
 	// live in the counter store's maps and are (de)serialized at the edge.
+	//
+	//secmemlint:secret — plaintext cache-block contents; must never leave the chip unencrypted
 	plain map[uint64]*[BlockSize]byte
 	meta  map[uint64]*[BlockSize]byte
 

@@ -47,6 +47,14 @@ func (e Element) IsZero() bool { return e.Hi == 0 && e.Lo == 0 }
 // Mul returns the product e*o in GF(2^128) per the NIST SP 800-38D
 // right-shift algorithm (Algorithm 1). Bit i of X is X.Hi's (63-i)th bit for
 // i<64, reflecting GCM's little-endian bit numbering within big-endian bytes.
+//
+// The bit-serial loop branches on operand bits. In GHASH one operand is the
+// secret subkey H and the accumulator carries tag state, so the software
+// loop is variable-time in secrets; the suppressions below record that this
+// models the paper's single-cycle combinational GF multiplier (Section 5),
+// where the data-dependent branches have no timing image.
+//
+//secmemlint:secret e o return
 func (e Element) Mul(o Element) Element {
 	var z Element
 	v := o
@@ -57,7 +65,7 @@ func (e Element) Mul(o Element) Element {
 		} else {
 			bit = e.Lo >> (127 - i) & 1
 		}
-		if bit == 1 {
+		if bit == 1 { //secmemlint:ignore cttiming models the single-cycle hardware GF multiplier; software bit-serial timing out of scope
 			z = z.Xor(v)
 		}
 		// v = v * x: right shift in GCM bit order, reduce by R if the
@@ -65,7 +73,7 @@ func (e Element) Mul(o Element) Element {
 		lsb := v.Lo & 1
 		v.Lo = v.Lo>>1 | v.Hi<<63
 		v.Hi >>= 1
-		if lsb == 1 {
+		if lsb == 1 { //secmemlint:ignore cttiming models the single-cycle hardware GF multiplier; software bit-serial timing out of scope
 			v.Hi ^= 0xe100000000000000 // R = 11100001 || 0^120
 		}
 	}
@@ -76,11 +84,15 @@ func (e Element) Mul(o Element) Element {
 // Each 16-byte block folded in costs one field multiplication — the paper's
 // "chain of Galois Field Multiplications and XOR operations".
 type Hash struct {
+	//secmemlint:secret — GHASH subkey H = E_K(0^128); knowing H forges tags
 	h Element
+	//secmemlint:secret — accumulated GHASH state (tag material until pad-masked)
 	y Element
 }
 
 // NewHash returns a GHASH instance for hash subkey h (16 bytes).
+//
+//secmemlint:secret h
 func NewHash(h []byte) *Hash {
 	return &Hash{h: FromBytes(h)}
 }
@@ -108,7 +120,10 @@ func (g *Hash) UpdateLengths(aadBits, ctBits uint64) {
 	g.Update(blk[:])
 }
 
-// Sum returns the current GHASH value.
+// Sum returns the current GHASH value — tag material that stays secret
+// until it is masked with the authentication pad and clipped.
+//
+//secmemlint:secret return
 func (g *Hash) Sum() [16]byte { return g.y.Bytes() }
 
 // Reset clears the accumulated state, keeping the subkey.
@@ -116,6 +131,8 @@ func (g *Hash) Reset() { g.y = Element{} }
 
 // GHASH computes the one-shot GHASH_H(aad, ct) with standard zero padding of
 // both regions to block boundaries and the trailing length block.
+//
+//secmemlint:secret h return
 func GHASH(h, aad, ct []byte) [16]byte {
 	g := NewHash(h)
 	feed := func(p []byte) {

@@ -1,0 +1,22 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkLintRepo measures the wall time of a full-repository lint run:
+// loading and typechecking every package with the stdlib-only loader, then
+// running all eight analyzers, including the per-function taint fixpoints
+// the three secret-tracking analyzers share. Run via `make lint-bench`.
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load(filepath.Join("..", ".."), []string{"./..."})
+		if err != nil {
+			b.Fatalf("loading repository: %v", err)
+		}
+		if diags := Run(pkgs, All()); len(diags) > 0 {
+			b.Fatalf("repository is not clean: %s", diags[0])
+		}
+	}
+}

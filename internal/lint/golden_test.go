@@ -24,6 +24,9 @@ func TestGoldenFixtures(t *testing.T) {
 		{RandHygiene, []string{"randhygiene/cryptoish", "randhygiene/trace"}},
 		{VerifyDrop, []string{"verifydrop"}},
 		{SliceRetain, []string{"sliceretain/gcmmode", "sliceretain/plain"}},
+		{SecretFlow, []string{"secretflow/leaky", "secretflow/clean"}},
+		{CTTiming, []string{"cttiming/branchy", "cttiming/clean"}},
+		{TaintEscape, []string{"taintescape/alias", "taintescape/clean"}},
 	}
 	for _, c := range cases {
 		for _, fixture := range c.fixtures {

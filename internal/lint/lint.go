@@ -11,6 +11,16 @@
 //   - verifydrop: results of Verify/Authenticate/Open-shaped calls must not
 //     be discarded (Section 4.3 verify-before-trust).
 //   - sliceretain: crypto constructors/setters must not alias caller []byte.
+//   - secretflow: values derived from "//secmemlint:secret" sources must not
+//     reach fmt/log/error formatting or obsv metric/trace sinks.
+//   - cttiming: no branch condition or memory index may depend on secret
+//     data (the constant-time discipline, checked statically).
+//   - taintescape: exported APIs must not return or store un-copied aliases
+//     of secret state.
+//
+// The last three ride on the taint/dataflow engine in taint.go, seeded by
+// "//secmemlint:secret" annotations on the real key, pad, and plaintext
+// state across aescipher, gcmmode, gf128, and core.
 //
 // The compiler cannot see any of these properties; the analyzers keep all
 // packages honest through refactors. cmd/secmemlint is the CLI driver and
@@ -41,6 +51,10 @@ type Pass struct {
 	Pkg      *Package
 	analyzer *Analyzer
 	diags    *[]Diagnostic
+	// secrets is the module-wide "//secmemlint:secret" annotation index,
+	// shared by every pass of one Run so cross-package secrets (a gf128
+	// field read from gcmmode) resolve consistently.
+	secrets *SecretIndex
 }
 
 // Reportf records a finding at pos.
@@ -77,18 +91,22 @@ func All() []*Analyzer {
 		RandHygiene,
 		VerifyDrop,
 		SliceRetain,
+		SecretFlow,
+		CTTiming,
+		TaintEscape,
 	}
 }
 
 // Run executes analyzers over pkgs, drops findings silenced by
 // "//secmemlint:ignore" comments, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	secrets := collectSecrets(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &pkgDiags})
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &pkgDiags, secrets: secrets})
 		}
 		for _, d := range pkgDiags {
 			if !ignores.suppresses(d) {
@@ -117,9 +135,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 //
 //	//secmemlint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// and applies to findings on its own line (trailing comment) or on the line
-// directly below (comment-above form). "all" silences every analyzer. The
-// reason is mandatory so intent is documented at the suppression site.
+// A trailing comment (code precedes it on the line) suppresses findings on
+// its own line and nothing else; a standalone comment line suppresses
+// findings on the line directly below it. "all" silences every analyzer.
+// The reason is mandatory so intent is documented at the suppression site.
 type ignoreSet map[string]map[int][]string
 
 const ignorePrefix = "secmemlint:ignore"
@@ -127,6 +146,7 @@ const ignorePrefix = "secmemlint:ignore"
 func collectIgnores(pkg *Package) ignoreSet {
 	set := make(ignoreSet)
 	for _, f := range pkg.Files {
+		code := codeLines(pkg.Fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -139,16 +159,40 @@ func collectIgnores(pkg *Package) ignoreSet {
 					continue // no reason given: suppression does not apply
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				target := pos.Line
+				if !code[pos.Line] {
+					// Standalone comment line: it guards the statement
+					// directly below, where the finding will be reported.
+					target = pos.Line + 1
+				}
 				byLine := set[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int][]string)
 					set[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], strings.Split(fields[0], ",")...)
+				byLine[target] = append(byLine[target], strings.Split(fields[0], ",")...)
 			}
 		}
 	}
 	return set
+}
+
+// codeLines reports which lines of f hold non-comment tokens, so a
+// suppression comment can be classified as trailing (shares a line with
+// code) or standalone (alone on its line).
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
 }
 
 func (s ignoreSet) suppresses(d Diagnostic) bool {
@@ -156,11 +200,9 @@ func (s ignoreSet) suppresses(d Diagnostic) bool {
 	if byLine == nil {
 		return false
 	}
-	for _, line := range []int{d.Line, d.Line - 1} {
-		for _, name := range byLine[line] {
-			if name == d.Analyzer || name == "all" {
-				return true
-			}
+	for _, name := range byLine[d.Line] {
+		if name == d.Analyzer || name == "all" {
+			return true
 		}
 	}
 	return false

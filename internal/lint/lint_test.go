@@ -40,6 +40,9 @@ func TestViolationsAreDetected(t *testing.T) {
 		"randhygiene":    "randhygiene/cryptoish",
 		"verifydrop":     "verifydrop",
 		"sliceretain":    "sliceretain/gcmmode",
+		"secretflow":     "secretflow/leaky",
+		"cttiming":       "cttiming/branchy",
+		"taintescape":    "taintescape/alias",
 	}
 	for name, dir := range fixtures {
 		pkgs, err := Load(filepath.Join("testdata", "src", filepath.FromSlash(dir)), []string{"."})

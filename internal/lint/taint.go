@@ -1,0 +1,579 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the taint/dataflow engine underneath the secretflow,
+// cttiming, and taintescape analyzers. Secrecy is a property the Go type
+// system cannot express: a []byte holding an AES key schedule and a []byte
+// holding a public trace label have the same type. The engine adds that
+// missing bit as a two-point lattice (public ⊑ secret) seeded by explicit
+// "//secmemlint:secret" annotations and propagated intra-procedurally
+// through assignments, composite literals, indexing/slicing, arithmetic and
+// XOR, and calls to functions whose results are annotated secret.
+//
+// Annotation grammar (the sources of taint):
+//
+//	//secmemlint:secret [prose...]
+//	    on a struct field (doc or trailing comment), a var declaration, or
+//	    the line directly above either: the declared names are secret.
+//	    Trailing prose documents what the secret is.
+//
+//	//secmemlint:secret name[ name...]
+//	    in a function's doc comment: each name is a parameter or receiver
+//	    name to treat as secret inside the body; the keyword "return" marks
+//	    the function's results as secret at every call site.
+//
+// Deliberate exceptions (the allowlisted set) use the ordinary
+// "//secmemlint:ignore <analyzer> <reason>" mechanism at the finding site,
+// so every place the discipline is waived carries its justification.
+//
+// The analysis is intentionally intra-procedural: cross-function flow is
+// declared at boundaries (annotated params, fields, and results) rather
+// than inferred, which keeps findings explainable — every report can be
+// traced from an annotation through local assignments to the sink. Known
+// holes, accepted for predictability: writes through pointer/out
+// parameters do not taint the caller's variable, and element writes into a
+// struct field do not taint the enclosing struct variable.
+const secretPrefix = "secmemlint:secret"
+
+// declassifiedPkgs are import paths whose function results are public even
+// when fed secrets: crypto/subtle reduces secrets to publishable decisions
+// in constant time, which is exactly the sanctioned exit from the lattice.
+var declassifiedPkgs = map[string]bool{
+	"crypto/subtle": true,
+}
+
+// SecretIndex is the module-wide annotation table built once per Run over
+// every loaded package, so a secret declared in gf128 stays secret when
+// gcmmode touches it through a selector.
+type SecretIndex struct {
+	// objs holds annotated objects: struct fields, parameters, receivers,
+	// and variables.
+	objs map[types.Object]bool
+	// results holds functions whose results are annotated secret.
+	results map[types.Object]bool
+	// taints caches per-function dataflow results across the analyzers of
+	// one Run.
+	taints map[*ast.FuncDecl]*funcTaint
+}
+
+// collectSecrets builds the annotation index over all loaded packages.
+func collectSecrets(pkgs []*Package) *SecretIndex {
+	idx := &SecretIndex{
+		objs:    make(map[types.Object]bool),
+		results: make(map[types.Object]bool),
+		taints:  make(map[*ast.FuncDecl]*funcTaint),
+	}
+	for _, pkg := range pkgs {
+		idx.collectPackage(pkg)
+	}
+	return idx
+}
+
+// secretComment extracts the argument text of a secret annotation comment,
+// reporting ok=false for non-annotation comments.
+func secretComment(c *ast.Comment) (args string, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, secretPrefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, secretPrefix)), true
+}
+
+func groupHasSecret(g *ast.CommentGroup) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if _, ok := secretComment(c); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (idx *SecretIndex) collectPackage(pkg *Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		// Attachment pass: struct fields, var specs, and function docs.
+		// Comments consumed here are excluded from the line-based pass so a
+		// function-level annotation cannot double as a line annotation for
+		// whatever sits beneath it.
+		consumed := make(map[*ast.Comment]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					idx.collectField(info, field, consumed)
+				}
+			case *ast.ValueSpec:
+				if groupHasSecret(n.Doc) || groupHasSecret(n.Comment) {
+					for _, name := range n.Names {
+						if obj := info.Defs[name]; obj != nil {
+							idx.objs[obj] = true
+						}
+					}
+					markConsumed(n.Doc, consumed)
+					markConsumed(n.Comment, consumed)
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR && groupHasSecret(n.Doc) {
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							if obj := info.Defs[name]; obj != nil {
+								idx.objs[obj] = true
+							}
+						}
+					}
+					markConsumed(n.Doc, consumed)
+				}
+			case *ast.FuncDecl:
+				idx.collectFuncDoc(info, n, consumed)
+			}
+			return true
+		})
+
+		// Line pass: a bare annotation on a var's line or the line directly
+		// above taints the names defined there (covers short declarations
+		// and unparenthesized vars, whose trailing comments float free in
+		// the AST).
+		lines := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if consumed[c] {
+					continue
+				}
+				if _, ok := secretComment(c); ok {
+					lines[pkg.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(lines) == 0 {
+			continue
+		}
+		for ident, obj := range info.Defs {
+			v, ok := obj.(*types.Var)
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(ident.Pos())
+			if pos.Filename != pkg.Fset.Position(f.Pos()).Filename {
+				continue
+			}
+			if lines[pos.Line] || lines[pos.Line-1] {
+				idx.objs[v] = true
+			}
+		}
+	}
+}
+
+func markConsumed(g *ast.CommentGroup, consumed map[*ast.Comment]bool) {
+	if g == nil {
+		return
+	}
+	for _, c := range g.List {
+		consumed[c] = true
+	}
+}
+
+func (idx *SecretIndex) collectField(info *types.Info, field *ast.Field, consumed map[*ast.Comment]bool) {
+	if !groupHasSecret(field.Doc) && !groupHasSecret(field.Comment) {
+		return
+	}
+	for _, name := range field.Names {
+		if obj := info.Defs[name]; obj != nil {
+			idx.objs[obj] = true
+		}
+	}
+	markConsumed(field.Doc, consumed)
+	markConsumed(field.Comment, consumed)
+}
+
+// collectFuncDoc handles the named form in function doc comments:
+// "//secmemlint:secret key h return" marks params/receiver key and h secret
+// and the results secret.
+func (idx *SecretIndex) collectFuncDoc(info *types.Info, fn *ast.FuncDecl, consumed map[*ast.Comment]bool) {
+	if fn.Doc == nil {
+		return
+	}
+	var names []string
+	for _, c := range fn.Doc.List {
+		args, ok := secretComment(c)
+		if !ok {
+			continue
+		}
+		consumed[c] = true
+		names = append(names, strings.FieldsFunc(args, func(r rune) bool {
+			return r == ' ' || r == ',' || r == '\t'
+		})...)
+	}
+	if len(names) == 0 {
+		return
+	}
+	// Resolve names among the receiver, parameters, and named results.
+	byName := make(map[string]types.Object)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				if obj := info.Defs[id]; obj != nil {
+					byName[id.Name] = obj
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+	for _, name := range names {
+		if name == "return" {
+			if obj := info.Defs[fn.Name]; obj != nil {
+				idx.results[obj] = true
+			}
+			continue
+		}
+		if obj, ok := byName[name]; ok {
+			idx.objs[obj] = true
+		}
+		// Unknown names are ignored: annotations must not break the build,
+		// and the golden fixtures pin the resolved behavior.
+	}
+}
+
+// funcTaint is the fixpoint result for one function body.
+type funcTaint struct {
+	// tainted holds locals that carry secret-derived data.
+	tainted map[types.Object]bool
+	// alias holds locals that directly alias secret backing storage
+	// (assigned from an annotated object or a reslice of one, with no
+	// copying step in between) — the taintescape notion.
+	alias map[types.Object]bool
+}
+
+// taintCtx bundles what an analyzer needs to query taint inside one
+// function: the module index, the package's type info, and the function's
+// fixpoint state.
+type taintCtx struct {
+	idx  *SecretIndex
+	info *types.Info
+	ft   *funcTaint
+}
+
+// analyze returns the taint context for fn, computing and caching the
+// intra-procedural fixpoint on first use.
+func (idx *SecretIndex) analyze(pass *Pass, fn *ast.FuncDecl) *taintCtx {
+	ft, ok := idx.taints[fn]
+	if !ok {
+		ft = &funcTaint{
+			tainted: make(map[types.Object]bool),
+			alias:   make(map[types.Object]bool),
+		}
+		idx.taints[fn] = ft
+		if fn.Body != nil {
+			ctx := &taintCtx{idx: idx, info: pass.Pkg.Info, ft: ft}
+			ctx.fixpoint(fn.Body)
+		}
+	}
+	return &taintCtx{idx: idx, info: pass.Pkg.Info, ft: ft}
+}
+
+// fixpoint iterates the transfer functions until the tainted/alias sets
+// stop growing. The sets only grow, so termination is bounded by the
+// number of objects; the iteration cap is a safety net, not a limit hit in
+// practice.
+func (c *taintCtx) fixpoint(body *ast.BlockStmt) {
+	for i := 0; i < 1000; i++ {
+		before := len(c.ft.tainted) + len(c.ft.alias)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.transferAssign(n)
+			case *ast.ValueSpec:
+				c.transferValueSpec(n)
+			case *ast.RangeStmt:
+				c.transferRange(n)
+			case *ast.CallExpr:
+				c.transferCopy(n)
+			}
+			return true
+		})
+		if len(c.ft.tainted)+len(c.ft.alias) == before {
+			return
+		}
+	}
+}
+
+func (c *taintCtx) taintObj(obj types.Object) {
+	if obj != nil {
+		c.ft.tainted[obj] = true
+	}
+}
+
+// lhsObj resolves an assignment target to the object whose contents the
+// write lands in: a plain identifier, possibly through index, slice,
+// dereference, or parens. Selector chains stop resolution: a write into
+// one field must not taint the whole struct variable (f.key[i] = b taints
+// neither f nor f.c).
+func (c *taintCtx) lhsObj(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.info.Uses[e]; obj != nil {
+			return obj
+		}
+		return c.info.Defs[e]
+	case *ast.IndexExpr:
+		return c.lhsObj(e.X)
+	case *ast.SliceExpr:
+		return c.lhsObj(e.X)
+	case *ast.StarExpr:
+		return c.lhsObj(e.X)
+	}
+	return nil
+}
+
+func (c *taintCtx) transferAssign(n *ast.AssignStmt) {
+	// Tuple forms: x, ok := m[k] / v, ok := y.(T) / multi-return call.
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		rhs := ast.Unparen(n.Rhs[0])
+		switch rhs.(type) {
+		case *ast.IndexExpr, *ast.TypeAssertExpr:
+			// The comma-ok bool reveals presence, not contents: taint the
+			// value, leave ok public (branching on map presence is how the
+			// on-chip residency checks work and is address-, not
+			// secret-, dependent).
+			if c.Tainted(rhs) {
+				c.taintObj(c.lhsObj(n.Lhs[0]))
+			}
+		case *ast.CallExpr:
+			if c.Tainted(rhs) {
+				for _, lhs := range n.Lhs {
+					c.taintObj(c.lhsObj(lhs))
+				}
+			}
+		}
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) {
+			break
+		}
+		lhs := n.Lhs[i]
+		if c.Tainted(rhs) {
+			c.taintObj(c.lhsObj(lhs))
+		} else if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			// x op= rhs keeps x's own taint; nothing to add.
+			continue
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && c.AliasesSecret(rhs) {
+			if obj := c.lhsObj(id); obj != nil {
+				c.ft.alias[obj] = true
+			}
+		}
+	}
+}
+
+func (c *taintCtx) transferValueSpec(n *ast.ValueSpec) {
+	for i, v := range n.Values {
+		if i >= len(n.Names) {
+			break
+		}
+		if c.Tainted(v) {
+			c.taintObj(c.info.Defs[n.Names[i]])
+		}
+		if c.AliasesSecret(v) {
+			if obj := c.info.Defs[n.Names[i]]; obj != nil {
+				c.ft.alias[obj] = true
+			}
+		}
+	}
+}
+
+func (c *taintCtx) transferRange(n *ast.RangeStmt) {
+	if !c.Tainted(n.X) {
+		return
+	}
+	if n.Value != nil {
+		c.taintObj(c.lhsObj(n.Value))
+	}
+	// Keys of slices/arrays are indices (public); map keys share the
+	// container's secrecy.
+	if n.Key != nil {
+		if tv, ok := c.info.Types[n.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				c.taintObj(c.lhsObj(n.Key))
+			}
+		}
+	}
+}
+
+// transferCopy models the copy builtin: copying from a secret source makes
+// the destination's contents secret.
+func (c *taintCtx) transferCopy(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 2 {
+		return
+	}
+	if b, ok := c.info.Uses[id].(*types.Builtin); !ok || b.Name() != "copy" {
+		return
+	}
+	if c.Tainted(call.Args[1]) {
+		c.taintObj(c.lhsObj(call.Args[0]))
+	}
+}
+
+// Tainted reports whether evaluating e can yield secret-derived data.
+func (c *taintCtx) Tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		if obj == nil {
+			obj = c.info.Defs[e]
+		}
+		return obj != nil && (c.idx.objs[obj] || c.ft.tainted[obj])
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[e]; ok {
+			if c.idx.objs[sel.Obj()] {
+				return true
+			}
+			return c.Tainted(e.X) // any field of a secret value is secret
+		}
+		// Qualified identifier pkg.Name.
+		obj := c.info.Uses[e.Sel]
+		return obj != nil && c.idx.objs[obj]
+	case *ast.IndexExpr:
+		// Element of a secret container, or a lookup keyed by a secret
+		// index (sbox[k]): both yield secret-correlated data.
+		return c.Tainted(e.X) || c.Tainted(e.Index)
+	case *ast.SliceExpr:
+		return c.Tainted(e.X)
+	case *ast.ParenExpr:
+		return c.Tainted(e.X)
+	case *ast.StarExpr:
+		return c.Tainted(e.X)
+	case *ast.UnaryExpr:
+		return c.Tainted(e.X)
+	case *ast.BinaryExpr:
+		// Arithmetic, XOR, shifts, and even comparisons propagate: a bool
+		// computed from a secret is a secret-dependent decision.
+		return c.Tainted(e.X) || c.Tainted(e.Y)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if c.Tainted(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.TypeAssertExpr:
+		return c.Tainted(e.X)
+	case *ast.CallExpr:
+		return c.taintedCall(e)
+	}
+	return false
+}
+
+func (c *taintCtx) taintedCall(call *ast.CallExpr) bool {
+	// Conversions pass taint through: uint32(k), []byte(s), string(b).
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && c.Tainted(call.Args[0])
+	}
+	obj := calleeObject(c.info, call)
+	if b, ok := obj.(*types.Builtin); ok {
+		switch b.Name() {
+		case "append":
+			for _, a := range call.Args {
+				if c.Tainted(a) {
+					return true
+				}
+			}
+			return false
+		default:
+			// len, cap, make, new, and copy (returns a count) yield
+			// lengths or fresh allocations: public by construction.
+			return false
+		}
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if pkg := fn.Pkg(); pkg != nil && declassifiedPkgs[pkg.Path()] {
+			return false
+		}
+		return c.idx.results[fn]
+	}
+	return false
+}
+
+// calleeObject resolves a call's target to its types.Object (function,
+// method, builtin), or nil for indirect calls through function values.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// AliasesSecret reports whether e directly aliases secret backing storage:
+// an annotated object or field, a reslice of one, or a local previously
+// assigned such an alias. Calls (including append and copy idioms) break
+// aliasing — their results are caller-owned memory.
+func (c *taintCtx) AliasesSecret(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		if obj == nil {
+			obj = c.info.Defs[e]
+		}
+		return obj != nil && (c.idx.objs[obj] || c.ft.alias[obj])
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[e]; ok {
+			if c.idx.objs[sel.Obj()] {
+				return true
+			}
+			return c.AliasesSecret(e.X)
+		}
+		obj := c.info.Uses[e.Sel]
+		return obj != nil && c.idx.objs[obj]
+	case *ast.SliceExpr:
+		return c.AliasesSecret(e.X)
+	case *ast.ParenExpr:
+		return c.AliasesSecret(e.X)
+	case *ast.StarExpr:
+		return c.AliasesSecret(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.AliasesSecret(e.X)
+		}
+	}
+	return false
+}
+
+// isSliceExpr reports whether e's type is a slice (the shape that can
+// escape as an alias; arrays are copied by value at return).
+func isSliceExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Slice)
+	return ok
+}

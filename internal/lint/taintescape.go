@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TaintEscape generalizes sliceretain to the opposite direction: where
+// sliceretain stops caller buffers from aliasing into crypto state, this
+// analyzer stops secret state from aliasing out. An exported function that
+// returns (or stores into caller-visible memory) a slice backed by secret
+// storage hands every caller a live window onto key, subkey, or pad
+// material: the caller can read future state changes and — worse — write
+// through the alias. Accessors must return a copy; the taint engine's alias
+// tracking distinguishes copies (append/make+copy results) from aliases
+// (the annotated object or any reslice of it).
+var TaintEscape = &Analyzer{
+	Name: "taintescape",
+	Doc:  "exported APIs must not return or store un-copied aliases of secret state",
+	Run:  runTaintEscape,
+}
+
+// paramObjects collects fn's parameter and receiver objects — the names
+// through which stores become visible to the caller.
+func paramObjects(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	add(fn.Recv)
+	add(fn.Type.Params)
+	return params
+}
+
+func runTaintEscape(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			ctx := pass.secrets.analyze(pass, fn)
+			params := paramObjects(info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// Closures have their own escape story (they may be
+					// internal callbacks); keep findings attributable to
+					// the exported function's own statements.
+					return false
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if isSliceExpr(info, res) && ctx.AliasesSecret(res) {
+							pass.Reportf(res.Pos(),
+								"exported %s returns an un-copied alias of secret state; return a copy so callers cannot read or rewrite key/pad material",
+								fn.Name.Name)
+						}
+					}
+				case *ast.AssignStmt:
+					// Storing a secret alias into caller-visible memory
+					// (through a pointer/slice/map parameter) leaks the
+					// alias just like returning it.
+					for i, rhs := range n.Rhs {
+						if i >= len(n.Lhs) {
+							break
+						}
+						if !isSliceExpr(info, rhs) || !ctx.AliasesSecret(rhs) {
+							continue
+						}
+						if base := ctx.lhsObj(n.Lhs[i]); base != nil && params[base] {
+							if _, direct := ast.Unparen(n.Lhs[i]).(*ast.Ident); direct {
+								continue // rebinding a local name, not a store
+							}
+							pass.Reportf(rhs.Pos(),
+								"exported %s stores an un-copied alias of secret state into caller-visible memory; store a copy instead",
+								fn.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

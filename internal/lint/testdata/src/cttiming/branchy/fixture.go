@@ -1,0 +1,58 @@
+// Package branchy exercises the cttiming analyzer's positive cases:
+// secret-dependent branches, switch tags, loop conditions, table indexes,
+// and slice bounds.
+package branchy
+
+var sbox [256]byte
+
+// SubBytes substitutes each byte through the table — the classic
+// key-indexed lookup (AES S-box cache channel).
+//
+//secmemlint:secret key
+func SubBytes(key []byte) []byte {
+	out := make([]byte, len(key))
+	for i, b := range key {
+		out[i] = sbox[b] // want "memory index depends on secret data"
+	}
+	return out
+}
+
+// ParityBranch branches directly on a secret-derived bit.
+//
+//secmemlint:secret k
+func ParityBranch(k byte) bool {
+	if k&1 == 1 { // want "if condition depends on secret data"
+		return true
+	}
+	return false
+}
+
+// RoleSwitch dispatches on a secret byte.
+//
+//secmemlint:secret role
+func RoleSwitch(role byte) int {
+	switch role { // want "switch tag depends on secret data"
+	case 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// CountLoop runs a secret-dependent number of iterations.
+//
+//secmemlint:secret n
+func CountLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want "loop condition depends on secret data"
+		total++
+	}
+	return total
+}
+
+// ClipSecret slices with a secret-derived bound.
+//
+//secmemlint:secret cut
+func ClipSecret(buf []byte, cut int) []byte {
+	return buf[:cut] // want "slice bound depends on secret data"
+}

@@ -1,0 +1,40 @@
+// Package clean is the cttiming negative fixture: constant-time handling
+// of secrets — linear scans, subtle-declassified decisions, and an
+// explicitly allowlisted hardware-model site — must produce no findings.
+package clean
+
+import "crypto/subtle"
+
+var sbox [256]byte
+
+// XorFold mixes the secret without any data-dependent control flow: the
+// loop bound is the public length and every iteration does the same work.
+//
+//secmemlint:secret key
+func XorFold(key []byte) byte {
+	var acc byte
+	for i := 0; i < len(key); i++ {
+		acc ^= key[i]
+	}
+	return acc
+}
+
+// Gate branches only on the declassified result of a constant-time
+// comparison — the sanctioned exit from the secret lattice.
+//
+//secmemlint:secret key
+func Gate(key, candidate []byte) bool {
+	if subtle.ConstantTimeCompare(key, candidate) == 1 {
+		return true
+	}
+	return false
+}
+
+// HardwareSBox models a combinational hardware S-box; the software table
+// lookup is allowlisted with a documented suppression.
+//
+//secmemlint:secret k
+func HardwareSBox(k byte) byte {
+	//secmemlint:ignore cttiming models a combinational hardware S-box; software table timing out of scope
+	return sbox[k]
+}

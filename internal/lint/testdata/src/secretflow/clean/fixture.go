@@ -1,0 +1,38 @@
+// Package clean is the secretflow negative fixture: code that handles
+// secrets correctly — publishing only lengths, constant labels, and
+// subtle-declassified decisions — must produce no findings.
+package clean
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"log"
+)
+
+// Registry mimics obsv.Registry's metric-name sinks.
+type Registry struct{}
+
+// Counter mimics metric registration by name.
+func (r *Registry) Counter(name string) *int { return nil }
+
+type vault struct {
+	//secmemlint:secret — the AES key under test
+	key []byte
+}
+
+// sizeError publishes only the key's length: lengths are public.
+func (v *vault) sizeError() error {
+	return fmt.Errorf("invalid key size %d", len(v.key))
+}
+
+// checkAndLog publishes a subtle-declassified comparison decision.
+func (v *vault) checkAndLog(other []byte) {
+	ok := subtle.ConstantTimeCompare(v.key, other) == 1
+	log.Printf("match=%v", ok)
+}
+
+// constantMetric registers under a constant name while using the secret.
+func (v *vault) constantMetric(r *Registry) *int {
+	_ = v.key[0] ^ v.key[1]
+	return r.Counter("vault.uses")
+}

@@ -1,0 +1,50 @@
+// Package leaky exercises the secretflow analyzer's positive cases:
+// secret-derived values reaching fmt/log formatting, error construction,
+// panic, and obsv-shaped metric/trace sinks.
+package leaky
+
+import (
+	"fmt"
+	"log"
+)
+
+// Registry mimics obsv.Registry's metric-name sinks.
+type Registry struct{}
+
+// Counter mimics metric registration by name.
+func (r *Registry) Counter(name string) *int { return nil }
+
+// Recorder mimics obsv.Recorder's trace-label sinks.
+type Recorder struct{}
+
+// Span mimics a trace span with track and label strings.
+func (r *Recorder) Span(track, name string, start, end uint64) {}
+
+type vault struct {
+	//secmemlint:secret — the AES key under test
+	key []byte
+}
+
+func (v *vault) leakError() error {
+	return fmt.Errorf("bad key %x", v.key) // want "secret-derived value reaches fmt.Errorf"
+}
+
+func (v *vault) leakDerived() {
+	derived := make([]byte, 4)
+	for i, b := range v.key {
+		derived[i%4] ^= b
+	}
+	log.Printf("derived=%x", derived) // want "secret-derived value reaches log.Printf"
+}
+
+func (v *vault) leakMetricName(r *Registry) {
+	r.Counter("key." + string(v.key[:1])) // want "reaches Registry.Counter"
+}
+
+func (v *vault) leakSpanLabel(rec *Recorder) {
+	rec.Span("aes", string(v.key[:4]), 0, 1) // want "reaches Recorder.Span"
+}
+
+func (v *vault) leakPanic() {
+	panic(string(v.key)) // want "secret-derived value reaches panic"
+}

@@ -1,0 +1,28 @@
+// Package alias exercises the taintescape analyzer's positive cases:
+// exported APIs handing out live aliases of secret backing storage.
+package alias
+
+// Box holds secret pad material.
+type Box struct {
+	//secmemlint:secret — counter-mode pad material
+	pad []byte
+}
+
+// Pad returns the secret slice itself: every caller gets a writable
+// window onto the pad.
+func (b *Box) Pad() []byte {
+	return b.pad // want "returns an un-copied alias of secret state"
+}
+
+// PadPrefix reslices the secret before returning — still the same backing
+// array, tracked through the local.
+func (b *Box) PadPrefix() []byte {
+	p := b.pad[:8]
+	return p // want "returns an un-copied alias of secret state"
+}
+
+// Expose stores the alias into caller-visible memory through a pointer
+// parameter.
+func (b *Box) Expose(out *[]byte) {
+	*out = b.pad // want "stores an un-copied alias of secret state"
+}

@@ -1,0 +1,25 @@
+// Package clean is the taintescape negative fixture: exported accessors
+// that copy before handing anything out must produce no findings.
+package clean
+
+// Box holds secret pad material.
+type Box struct {
+	//secmemlint:secret — counter-mode pad material
+	pad []byte
+}
+
+// PadCopy returns a caller-owned copy: the append breaks aliasing.
+func (b *Box) PadCopy() []byte {
+	return append([]byte(nil), b.pad...)
+}
+
+// PadInto copies into a caller buffer instead of storing an alias.
+func (b *Box) PadInto(dst []byte) int {
+	return copy(dst, b.pad)
+}
+
+// internalAlias returning the raw slice is fine on an unexported helper:
+// the package owns both ends.
+func (b *Box) internalAlias() []byte {
+	return b.pad
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-bench bench trace-smoke ci
+.PHONY: all build test race vet lint lint-bench bench bench-speed bench-compare trace-smoke ci
 
 all: build
 
@@ -29,6 +29,19 @@ lint-bench:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Raw-speed artifact: crypto-kernel ns/op (fast path and its oracle), the
+# computed speedups, and end-to-end campaign numbers, written to
+# BENCH_speed.json. Compare two artifacts (e.g. before/after a kernel
+# change) with bench-compare; kernels slower by more than TOL fail.
+bench-speed:
+	$(GO) run ./cmd/benchspeed -out BENCH_speed.json
+
+OLD ?= BENCH_speed.json
+NEW ?= BENCH_speed.new.json
+TOL ?= 0.25
+bench-compare:
+	$(GO) run ./cmd/benchspeed -compare -tol $(TOL) $(OLD) $(NEW)
 
 # End-to-end observability smoke: run a tiny instrumented simulation, check
 # the metrics/trace artifact shape with secmemobs -validate, and confirm a

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"secmem/internal/harness"
@@ -32,8 +34,37 @@ func main() {
 		jsonOut = flag.String("json", "", "also write structured results as JSON to this file")
 		svgDir  = flag.String("svg", "", "also render figures as SVG files into this directory")
 		metrics = flag.String("metrics", "", "write per-benchmark metric deltas (Split+GCM vs baseline) as JSON to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the campaign to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			}
+		}()
+	}
 	if *quick {
 		*instr = 1_000_000
 	}

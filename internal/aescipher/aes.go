@@ -83,6 +83,7 @@ func init() {
 		rcon[i] = c
 		c = mul2(c)
 	}
+	initTTables()
 	for i := 0; i < 256; i++ {
 		b := byte(i)
 		mul9[i] = Mul(b, 0x09)
@@ -198,9 +199,22 @@ func invMixWord(w uint32) uint32 {
 // ErrBlockSize is returned by checked block operations on wrong-size input.
 var ErrBlockSize = errors.New("aescipher: input not a full block")
 
-// Encrypt encrypts exactly one 16-byte block from src into dst.
-// dst and src may overlap completely or not at all.
+// Encrypt encrypts exactly one 16-byte block from src into dst via the
+// T-table rounds (ttable.go). dst and src may overlap completely or not at
+// all. EncryptOracle is the byte-wise reference the tests pin this against.
 func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic(ErrBlockSize)
+	}
+	c.encryptBlockFast(dst, src)
+}
+
+// EncryptOracle encrypts one block with the literal FIPS-197 step-by-step
+// rounds (SubBytes, ShiftRows, MixColumns as separate byte transforms). It
+// is the differential oracle for the T-table path and the baseline the
+// speed benchmarks measure the fast path against; production callers use
+// Encrypt.
+func (c *Cipher) EncryptOracle(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic(ErrBlockSize)
 	}

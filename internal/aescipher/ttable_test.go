@@ -1,0 +1,66 @@
+package aescipher
+
+import (
+	"bytes"
+	"crypto/aes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEncryptMatchesStdlib pins the T-table path to crypto/aes over random
+// keys of every AES size and random blocks.
+func TestEncryptMatchesStdlib(t *testing.T) {
+	for _, keyLen := range []int{16, 24, 32} {
+		f := func(seed int64, blk [16]byte) bool {
+			rng := rand.New(rand.NewSource(seed))
+			key := make([]byte, keyLen)
+			rng.Read(key)
+			ours := MustNew(key)
+			std, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got, want [16]byte
+			ours.Encrypt(got[:], blk[:])
+			std.Encrypt(want[:], blk[:])
+			return got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("AES-%d: %v", keyLen*8, err)
+		}
+	}
+}
+
+// TestEncryptMatchesOracle pins the T-table path to the byte-wise FIPS-197
+// reference rounds, and Decrypt inverts both.
+func TestEncryptMatchesOracle(t *testing.T) {
+	for _, keyLen := range []int{16, 24, 32} {
+		f := func(seed int64, blk [16]byte) bool {
+			rng := rand.New(rand.NewSource(seed))
+			key := make([]byte, keyLen)
+			rng.Read(key)
+			c := MustNew(key)
+			var fast, ref, back [16]byte
+			c.Encrypt(fast[:], blk[:])
+			c.EncryptOracle(ref[:], blk[:])
+			c.Decrypt(back[:], fast[:])
+			return fast == ref && back == blk
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("AES-%d: %v", keyLen*8, err)
+		}
+	}
+}
+
+// TestEncryptZeroAlloc keeps the block operation off the heap.
+func TestEncryptZeroAlloc(t *testing.T) {
+	c := MustNew(bytes.Repeat([]byte{3}, 16))
+	var in, out [16]byte
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Encrypt(out[:], in[:])
+	})
+	if allocs != 0 {
+		t.Errorf("Encrypt allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -112,15 +112,20 @@ func (f *functional) decrypt(dst, src []byte, addr, ctr uint64) {
 	}
 }
 
-// computeMac returns the authentication code for a block's memory image.
-func (f *functional) computeMac(addr uint64, content []byte, ctr uint64) []byte {
+// computeMac fills mac with the authentication code for a block's memory
+// image and returns its length in bytes (0 when authentication is off).
+// The out-array form keeps per-transfer MAC generation off the heap on the
+// GCM path — this is called for every fill, write-back, and tree walk step.
+func (f *functional) computeMac(addr uint64, content []byte, ctr uint64, mac *[16]byte) int {
 	switch f.c.cfg.Auth {
 	case config.AuthGCM:
-		return f.pads.MAC(content, addr, ctr, f.c.cfg.MACBits)
+		tag, n := f.pads.MAC(content, addr, ctr, f.c.cfg.MACBits)
+		*mac = tag
+		return n
 	case config.AuthSHA1:
-		return sha1sum.MAC(f.shaKey, addr, ctr, content, f.c.cfg.MACBits)
+		return copy(mac[:], sha1sum.MAC(f.shaKey, addr, ctr, content, f.c.cfg.MACBits))
 	default:
-		return nil
+		return 0
 	}
 }
 
@@ -143,14 +148,15 @@ func (f *functional) verify(now sim.Time, addr uint64, content []byte, ctr uint6
 	if !f.c.mem.HasBlock(addr) && isZero(content) {
 		return true
 	}
-	mac := f.computeMac(addr, content, ctr)
+	var mac [16]byte
+	n := f.computeMac(addr, content, ctr, &mac)
 	parent, slot, ok := f.c.lay.Geo.Parent(addr)
 	if !ok {
 		want, set := f.root.Get()
 		if !set {
 			return true
 		}
-		if subtle.ConstantTimeCompare(mac, want) != 1 {
+		if subtle.ConstantTimeCompare(mac[:n], want) != 1 {
 			f.tamper(now, addr)
 			return false
 		}
@@ -165,7 +171,7 @@ func (f *functional) verify(now sim.Time, addr uint64, content []byte, ctr uint6
 		}
 	}
 	lo, hi := f.c.lay.Geo.MacOffset(slot)
-	if subtle.ConstantTimeCompare(mac, pbuf[lo:hi]) != 1 {
+	if subtle.ConstantTimeCompare(mac[:n], pbuf[lo:hi]) != 1 {
 		f.tamper(now, addr)
 		return false
 	}
@@ -249,10 +255,11 @@ func (f *functional) onCleanEvict(addr uint64) {
 func (f *functional) updateParentSlot(addr uint64) {
 	var content [BlockSize]byte
 	f.c.mem.ReadBlock(addr, content[:])
-	mac := f.computeMac(addr, content[:], f.counterFor(addr))
+	var mac [16]byte
+	n := f.computeMac(addr, content[:], f.counterFor(addr), &mac)
 	parent, slot, ok := f.c.lay.Geo.Parent(addr)
 	if !ok {
-		f.root.Set(mac)
+		f.root.Set(mac[:n])
 		return
 	}
 	node, okNode := f.meta[parent]
@@ -263,7 +270,7 @@ func (f *functional) updateParentSlot(addr uint64) {
 		f.meta[parent] = node
 	}
 	lo, hi := f.c.lay.Geo.MacOffset(slot)
-	copy(node[lo:hi], mac)
+	copy(node[lo:hi], mac[:n])
 }
 
 // updateRoot refreshes the root register after the top tree node was
@@ -271,7 +278,9 @@ func (f *functional) updateParentSlot(addr uint64) {
 func (f *functional) updateRoot(addr uint64) {
 	var content [BlockSize]byte
 	f.c.mem.ReadBlock(addr, content[:])
-	f.root.Set(f.computeMac(addr, content[:], f.counterFor(addr)))
+	var mac [16]byte
+	n := f.computeMac(addr, content[:], f.counterFor(addr), &mac)
+	f.root.Set(mac[:n])
 }
 
 // onReencBlock moves one off-chip block of a re-encrypting page from the
@@ -370,22 +379,23 @@ func (f *functional) rebuildTree(now sim.Time) {
 			} else {
 				continue
 			}
-			mac := f.computeMac(addr, content[:], f.counterFor(addr))
+			var mac [16]byte
+			n := f.computeMac(addr, content[:], f.counterFor(addr), &mac)
 			parent, slot, ok := geo.Parent(addr)
 			if !ok {
-				f.root.Set(mac)
+				f.root.Set(mac[:n])
 				continue
 			}
 			lo, hi := geo.MacOffset(slot)
 			if m, okm := f.meta[parent]; okm {
-				copy(m[lo:hi], mac)
+				copy(m[lo:hi], mac[:n])
 				// The on-chip copy now differs from memory; it must be
 				// written back eventually or the new MAC is lost.
 				f.c.l2.SetDirty(parent)
 			} else {
 				var pc [BlockSize]byte
 				f.c.mem.ReadBlock(parent, pc[:])
-				copy(pc[lo:hi], mac)
+				copy(pc[lo:hi], mac[:n])
 				f.c.mem.WriteBlock(parent, pc[:])
 				if _, seen := sliceContains(level[geo.LevelOf(parent)], parent); !seen {
 					level[geo.LevelOf(parent)] = append(level[geo.LevelOf(parent)], parent)

@@ -66,7 +66,7 @@ func TestGCMSealMatchesStdlib(t *testing.T) {
 		rng.Read(aad)
 
 		ours := NewAEAD(aescipher.MustNew(key))
-		got := ours.Seal(nonce, pt, aad)
+		got := ours.Seal(nil, nonce, pt, aad)
 
 		block, _ := stdaes.NewCipher(key)
 		std, _ := stdcipher.NewGCM(block)
@@ -76,7 +76,7 @@ func TestGCMSealMatchesStdlib(t *testing.T) {
 			t.Fatalf("case %d: Seal mismatch\nours %x\nstd  %x", i, got, want)
 		}
 		// And our Open accepts the stdlib's output.
-		back, err := ours.Open(nonce, want, aad)
+		back, err := ours.Open(nil, nonce, want, aad)
 		if err != nil || !bytes.Equal(back, pt) {
 			t.Fatalf("case %d: Open of stdlib ciphertext failed: %v", i, err)
 		}

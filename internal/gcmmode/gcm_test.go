@@ -58,7 +58,7 @@ var gcmVectors = []struct {
 func TestGCMNISTVectors(t *testing.T) {
 	for i, v := range gcmVectors {
 		a := NewAEAD(aescipher.MustNew(unhex(t, v.key)))
-		sealed := a.Seal(unhex(t, v.iv), unhex(t, v.pt), unhex(t, v.aad))
+		sealed := a.Seal(nil, unhex(t, v.iv), unhex(t, v.pt), unhex(t, v.aad))
 		wantCT := unhex(t, v.ct)
 		wantTag := unhex(t, v.tag)
 		if !bytes.Equal(sealed[:len(wantCT)], wantCT) {
@@ -67,7 +67,7 @@ func TestGCMNISTVectors(t *testing.T) {
 		if !bytes.Equal(sealed[len(wantCT):], wantTag) {
 			t.Errorf("case %d: tag = %x, want %x", i+1, sealed[len(wantCT):], wantTag)
 		}
-		pt, err := a.Open(unhex(t, v.iv), sealed, unhex(t, v.aad))
+		pt, err := a.Open(nil, unhex(t, v.iv), sealed, unhex(t, v.aad))
 		if err != nil {
 			t.Errorf("case %d: Open failed: %v", i+1, err)
 		} else if !bytes.Equal(pt, unhex(t, v.pt)) {
@@ -80,15 +80,15 @@ func TestOpenRejectsTamper(t *testing.T) {
 	a := NewAEAD(aescipher.MustNew(make([]byte, 16)))
 	nonce := make([]byte, 12)
 	pt := []byte("sixteen byte msg")
-	sealed := a.Seal(nonce, pt, nil)
+	sealed := a.Seal(nil, nonce, pt, nil)
 	for i := range sealed {
 		bad := append([]byte(nil), sealed...)
 		bad[i] ^= 0x40
-		if _, err := a.Open(nonce, bad, nil); err == nil {
+		if _, err := a.Open(nil, nonce, bad, nil); err == nil {
 			t.Fatalf("tamper at byte %d not detected", i)
 		}
 	}
-	if _, err := a.Open(nonce, sealed, []byte("x")); err == nil {
+	if _, err := a.Open(nil, nonce, sealed, []byte("x")); err == nil {
 		t.Fatal("AAD mismatch not detected")
 	}
 }
@@ -160,10 +160,11 @@ func TestMACDetectsTampering(t *testing.T) {
 	}
 	const addr, ctr = 0x8040, 17
 	for _, bits := range []int{32, 64, 128} {
-		mac := p.MAC(ct, addr, ctr, bits)
-		if len(mac) != bits/8 {
-			t.Fatalf("MAC length %d for %d bits", len(mac), bits)
+		tag, n := p.MAC(ct, addr, ctr, bits)
+		if n != bits/8 {
+			t.Fatalf("MAC length %d for %d bits", n, bits)
 		}
+		mac := tag[:n]
 		if !p.Verify(ct, addr, ctr, mac) {
 			t.Fatalf("%d-bit MAC does not verify its own output", bits)
 		}
@@ -190,8 +191,9 @@ func TestCounterRollbackChangesMAC(t *testing.T) {
 	var ct1, ct2 [64]byte
 	p.EncryptBlock(ct1[:], pt, 0x100, 7)
 	p.EncryptBlock(ct2[:], pt, 0x100, 8)
-	m1 := p.MAC(ct1[:], 0x100, 7, 64)
-	m2 := p.MAC(ct2[:], 0x100, 8, 64)
+	t1, n1 := p.MAC(ct1[:], 0x100, 7, 64)
+	t2, n2 := p.MAC(ct2[:], 0x100, 8, 64)
+	m1, m2 := t1[:n1], t2[:n2]
 	if bytes.Equal(m1, m2) {
 		t.Error("MACs equal across counter bump")
 	}

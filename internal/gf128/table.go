@@ -1,0 +1,111 @@
+package gf128
+
+// This file is the production GHASH multiplier: Shoup's 4-bit table method.
+// The bit-serial Mul in gf128.go walks all 128 bits of one operand; when
+// that operand is fixed (GHASH multiplies everything by the same subkey H),
+// the products i·H for every 4-bit i can be precomputed once, turning each
+// multiplication into 32 nibble lookups plus 32 shift-and-reduce steps.
+// That is the same trade hardware GHASH engines make (wider combinational
+// multiplier fed by a fixed H), so the fast path models the same machine as
+// the oracle — Mul stays as the independently-validated reference and the
+// differential tests in table_test.go pin the two together.
+
+// ProductTable holds the sixteen products i·H (i a 4-bit field element in
+// GCM bit order) for a fixed multiplicand H. It is 256 bytes, lives inline
+// in Hash and gcmmode.PadGen (no heap allocation per use), and is read-only
+// after construction, so one table may be shared by concurrent readers.
+type ProductTable struct {
+	//secmemlint:secret — multiples of the GHASH subkey H; recovering any entry recovers H
+	m [16]Element
+}
+
+// reduce4 holds, for each 4-bit value shifted out the low end of the
+// accumulator during a 4-bit shift, the polynomial that folds back in at
+// the top: reduce4[b] = (bits of b) · (R >> i) packed into the top 16 bits
+// of the high word, with R = 11100001 || 0^120.
+var reduce4 = [16]uint64{
+	0x0000 << 48, 0x1c20 << 48, 0x3840 << 48, 0x2460 << 48,
+	0x7080 << 48, 0x6ca0 << 48, 0x48c0 << 48, 0x54e0 << 48,
+	0xe100 << 48, 0xfd20 << 48, 0xd940 << 48, 0xc560 << 48,
+	0x9180 << 48, 0x8da0 << 48, 0xa9c0 << 48, 0xb5e0 << 48,
+}
+
+// rev4 reverses the bits of a 4-bit value: table indices are the nibble as
+// read from the element words, whose bit significance is reflected
+// relative to GCM polynomial order.
+var rev4 = [16]byte{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+// mulX returns e·x (one right shift in GCM bit order with reduction).
+func mulX(e Element) Element {
+	lsb := e.Lo & 1
+	e.Lo = e.Lo>>1 | e.Hi<<63
+	e.Hi >>= 1
+	if lsb == 1 { //secmemlint:ignore cttiming models the combinational GF multiplier's reduction mux; software bit timing out of scope
+		e.Hi ^= 0xe100000000000000
+	}
+	return e
+}
+
+// NewProductTable precomputes the Shoup table for multiplicand h: entry
+// rev4[i] is i·h, filled by doubling (i even) and adding h (i odd).
+//
+//secmemlint:secret h return
+func NewProductTable(h Element) ProductTable {
+	var t ProductTable
+	t.m[rev4[1]] = h
+	for i := 2; i < 16; i += 2 {
+		t.m[rev4[i]] = mulX(t.m[rev4[i/2]])
+		t.m[rev4[i+1]] = t.m[rev4[i]].Xor(h)
+	}
+	return t
+}
+
+// MulTable returns e·h where t = NewProductTable(h): 32 4-bit table lookups
+// instead of Mul's 128 serial iterations. The nibble-indexed loads model
+// the hardware multiplier's parallel partial-product mux; like the oracle's
+// data-dependent XORs, their software cache timing is out of scope.
+//
+//secmemlint:secret e return
+func (e Element) MulTable(t *ProductTable) Element {
+	var z Element
+	for _, word := range [2]uint64{e.Lo, e.Hi} {
+		for j := 0; j < 64; j += 4 {
+			msn := z.Lo & 0xf
+			z.Lo = z.Lo>>4 | z.Hi<<60
+			z.Hi >>= 4
+			z.Hi ^= reduce4[msn]                //secmemlint:ignore cttiming models the hardware multiplier's reduction network; software table timing out of scope
+			p := &t.m[word&0xf]                 //secmemlint:ignore cttiming models the hardware multiplier's partial-product mux; software table timing out of scope
+			z.Hi ^= p.Hi
+			z.Lo ^= p.Lo
+			word >>= 4
+		}
+	}
+	return z
+}
+
+// GHASHTable is GHASH_H(aad, ct) computed with a prebuilt table for H. It
+// matches GHASH byte for byte and never touches the heap, so per-block MAC
+// paths can call it at memory-traffic rates.
+//
+//secmemlint:secret return
+func GHASHTable(t *ProductTable, aad, ct []byte) [16]byte {
+	var y Element
+	feed := func(p []byte) {
+		for len(p) >= 16 {
+			y = y.Xor(FromBytes(p[:16])).MulTable(t)
+			p = p[16:]
+		}
+		if len(p) > 0 {
+			var blk [16]byte
+			copy(blk[:], p)
+			y = y.Xor(FromBytes(blk[:])).MulTable(t)
+		}
+	}
+	feed(aad)
+	feed(ct)
+	var lens Element
+	lens.Hi = uint64(len(aad)) * 8
+	lens.Lo = uint64(len(ct)) * 8
+	y = y.Xor(lens).MulTable(t)
+	return y.Bytes()
+}

@@ -1,0 +1,96 @@
+package gf128
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMulTableMatchesMul pins the table-driven multiplier to the bit-serial
+// oracle over random operand pairs: for every (x, h),
+// x.MulTable(NewProductTable(h)) must equal x.Mul(h).
+func TestMulTableMatchesMul(t *testing.T) {
+	f := func(x, h [16]byte) bool {
+		xe, he := FromBytes(x[:]), FromBytes(h[:])
+		tbl := NewProductTable(he)
+		return xe.MulTable(&tbl) == xe.Mul(he)
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMulTableKnownProduct replays the McGrew–Viega vector used for Mul.
+func TestMulTableKnownProduct(t *testing.T) {
+	h := elemFromHex(t, "66e94bd4ef8a2c3b884cfa59ca342b2e")
+	c := elemFromHex(t, "0388dace60b6a392f328c2b971b2fe78")
+	tbl := NewProductTable(h)
+	got := c.MulTable(&tbl).Bytes()
+	want, _ := hex.DecodeString("5e2ec746917062882c85b0685353deb7")
+	if !bytes.Equal(got[:], want) {
+		t.Errorf("table product = %x, want %x", got, want)
+	}
+}
+
+// TestMulTableIdentityZero checks the boundary elements: multiplying by the
+// table of 1 is the identity, by the table of 0 annihilates, and zero times
+// anything is zero.
+func TestMulTableIdentityZero(t *testing.T) {
+	one := Element{Hi: 0x8000000000000000}
+	oneTbl := NewProductTable(one)
+	zeroTbl := NewProductTable(Element{})
+	f := func(b [16]byte) bool {
+		e := FromBytes(b[:])
+		tbl := NewProductTable(e)
+		return e.MulTable(&oneTbl) == e &&
+			e.MulTable(&zeroTbl).IsZero() &&
+			(Element{}).MulTable(&tbl).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGHASHTableMatchesGHASH pins the zero-alloc one-shot against the
+// incremental oracle path across ragged aad/ct lengths.
+func TestGHASHTableMatchesGHASH(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		h := make([]byte, 16)
+		rng.Read(h)
+		aad := make([]byte, rng.Intn(70))
+		ct := make([]byte, rng.Intn(70))
+		rng.Read(aad)
+		rng.Read(ct)
+		tbl := NewProductTable(FromBytes(h))
+		got := GHASHTable(&tbl, aad, ct)
+		want := GHASH(h, aad, ct)
+		if got != want {
+			t.Fatalf("len(aad)=%d len(ct)=%d: GHASHTable = %x, GHASH = %x",
+				len(aad), len(ct), got, want)
+		}
+	}
+}
+
+// TestHashZeroAlloc verifies the incremental path allocates only at
+// construction: Update/UpdateLengths/Sum/Reset stay off the heap.
+func TestHashZeroAlloc(t *testing.T) {
+	h := make([]byte, 16)
+	for i := range h {
+		h[i] = byte(i + 1)
+	}
+	g := NewHash(h)
+	blk := make([]byte, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Reset()
+		g.Update(blk)
+		g.UpdateLengths(0, 512)
+		_ = g.Sum()
+	})
+	if allocs != 0 {
+		t.Errorf("Hash update cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// Campaign-output fingerprints captured BEFORE the fast crypto kernels
+// (table-driven GHASH, T-table AES, zero-alloc MAC paths) landed. Pinning
+// the rendered tables byte-identical proves the optimizations changed only
+// wall time, never a simulated number: the fast paths compute the same
+// functions as the oracles they replaced, and the timing model charges
+// fixed hardware latencies that are independent of host-side crypto speed.
+//
+// If a deliberate model change moves these numbers, regenerate with:
+//
+//	go test ./internal/harness -run TestCampaignDeterminism -v
+//
+// and paste the printed sha256/length pairs here, noting the change in the
+// commit message. An unexplained mismatch is a correctness bug in a kernel.
+var campaignGoldens = []struct {
+	name   string
+	sha256 string
+	length int
+	run    func() string
+}{
+	{
+		name:   "Fig4",
+		sha256: "34afa652fddb588f0a86cb71964dc129760529c0a59619f78d626629daa7b6ea",
+		length: 978,
+		run: func() string {
+			r := New(Options{Instructions: 300_000, Seed: 1,
+				Benches: []string{"swim", "mcf", "crafty"}})
+			tbl, _ := r.Fig4()
+			return tbl.String()
+		},
+	},
+	{
+		name:   "Scalars",
+		sha256: "cbb68268876dccd7f5502fec017468591328c9c7ca5de91e7a67061263f5bd5c",
+		length: 609,
+		run: func() string {
+			r := New(Options{Instructions: 500_000, Seed: 1,
+				Benches: []string{"twolf", "equake", "applu"}})
+			tbl, _ := r.Scalars()
+			return tbl.String()
+		},
+	},
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scheme campaigns; skipped with -short")
+	}
+	for _, g := range campaignGoldens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			out := g.run()
+			sum := sha256.Sum256([]byte(out))
+			got := hex.EncodeToString(sum[:])
+			t.Logf("%s: sha256=%s length=%d", g.name, got, len(out))
+			if got != g.sha256 || len(out) != g.length {
+				t.Errorf("%s output changed: sha256=%s length=%d, want sha256=%s length=%d\n"+
+					"rendered table:\n%s", g.name, got, len(out), g.sha256, g.length, out)
+			}
+		})
+	}
+}

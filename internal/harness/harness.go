@@ -33,8 +33,22 @@ type Options struct {
 	Seed int64
 	// Benches lists the workloads; nil means all 21.
 	Benches []string
-	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
+	// Parallelism bounds concurrent simulation runs within a campaign.
+	// Zero and negative values both mean "use GOMAXPROCS workers" — the
+	// zero value of Options must behave like DefaultOptions here, and a
+	// negative value (e.g. from a miscomputed flag) is clamped rather than
+	// silently serializing or panicking. Any positive value is honoured
+	// exactly, even above GOMAXPROCS. Parallelism never affects results,
+	// only wall time: every run is deterministic in (bench, config, seed).
 	Parallelism int
+	// Functional runs every campaign simulation with the byte-level
+	// crypto layer enabled (real AES pads, GHASH MACs, and tree updates
+	// per transfer) on top of the timing model. The simulated numbers are
+	// identical either way — the functional layer shares the timing
+	// path's presence/dirty decisions — so figure campaigns leave this
+	// off for speed; the speed benchmarks turn it on to measure the
+	// crypto kernels under a realistic access stream.
+	Functional bool
 }
 
 // DefaultOptions returns a campaign sized for interactive use.
@@ -158,6 +172,9 @@ func (r *Runner) Run(bench string, cfg config.SystemConfig) RunOut {
 // accumulate across successive runs sharing a registry; gauges reflect the
 // latest run.
 func (r *Runner) RunObserved(bench string, cfg config.SystemConfig, obs Obs) RunOut {
+	if r.Opt.Functional {
+		cfg.Functional = true
+	}
 	mem, err := core.NewMemSystem(cfg)
 	if err != nil {
 		panic(err) // configurations are code, not input
@@ -246,12 +263,19 @@ func (r *Runner) WarmBaselines() {
 	})
 }
 
+// workerCount resolves Options.Parallelism to an actual worker count,
+// implementing the contract documented on the field: <= 0 maps to
+// GOMAXPROCS, positive values pass through.
+func (r *Runner) workerCount() int {
+	if r.Opt.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Opt.Parallelism
+}
+
 // parallelFor runs fn(0..n-1) across a bounded worker pool.
 func (r *Runner) parallelFor(n int, fn func(i int)) {
-	workers := r.Opt.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := r.workerCount()
 	if workers > n {
 		workers = n
 	}

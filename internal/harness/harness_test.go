@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"runtime"
 	"testing"
 
 	"secmem/internal/config"
@@ -170,6 +171,37 @@ func TestParallelismDoesNotChangeResults(t *testing.T) {
 			if parallel[scheme][bench] != v {
 				t.Errorf("%s/%s: serial %v != parallel %v", scheme, bench, v, parallel[scheme][bench])
 			}
+		}
+	}
+}
+
+// TestWorkerCountContract pins the Options.Parallelism resolution rule:
+// zero and negative both mean GOMAXPROCS (the zero value must behave like
+// DefaultOptions; a negative value is clamped, not serialized), positive
+// values pass through untouched.
+func TestWorkerCountContract(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ par, want int }{
+		{0, max},
+		{-1, max},
+		{-100, max},
+		{1, 1},
+		{3, 3},
+		{max + 5, max + 5},
+	}
+	for _, c := range cases {
+		r := New(Options{Parallelism: c.par})
+		if got := r.workerCount(); got != c.want {
+			t.Errorf("Parallelism=%d: workerCount()=%d, want %d", c.par, got, c.want)
+		}
+	}
+	// A negative setting must still drive parallelFor over every index.
+	r := New(Options{Parallelism: -2})
+	seen := make([]bool, 50)
+	r.parallelFor(len(seen), func(i int) { seen[i] = true })
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("Parallelism=-2: index %d not visited", i)
 		}
 	}
 }

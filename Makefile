@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-bench bench bench-speed bench-compare trace-smoke ci
+.PHONY: all build test race vet lint lint-bench lint-fix-audit fuzz-smoke bench bench-speed bench-compare trace-smoke ci
 
 all: build
 
@@ -21,11 +21,26 @@ vet:
 lint:
 	$(GO) run ./cmd/secmemlint ./...
 
-# Wall-time of a full-repository lint run (load + typecheck + all eight
-# analyzers, including the taint fixpoints); guards against the suite
-# becoming too slow to keep in the default CI path.
+# Wall-time of a full-repository lint run (load + typecheck + call graph +
+# interprocedural summary fixpoint + all eleven analyzers); every iteration
+# asserts the 5s budget, guarding against the suite becoming too slow to
+# keep in the default CI path.
 lint-bench:
 	$(GO) test -run='^$$' -bench=BenchmarkLintRepo -benchtime=3x ./internal/lint
+
+# Every "//secmemlint:ignore" suppression with file:line, analyzers, and
+# the mandatory reason — the reviewable allowlist of deliberate exceptions.
+lint-fix-audit:
+	$(GO) run ./cmd/secmemlint -suppressions ./...
+
+# Short native-fuzz passes over the attack surfaces that parse free-form
+# input (the lint annotation grammar) and the differential crypto oracle
+# (table-driven GF(2^128) multiply vs the bit-serial reference). One -fuzz
+# target per `go test` invocation, as the tool requires.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzCollectIgnores -fuzztime=10s ./internal/lint
+	$(GO) test -run='^$$' -fuzz=FuzzSecretAnnotation -fuzztime=10s ./internal/lint
+	$(GO) test -run='^$$' -fuzz=FuzzMulTable -fuzztime=10s ./internal/gf128
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -58,4 +73,4 @@ trace-smoke:
 	cmp $(SMOKE_DIR)/t1.json $(SMOKE_DIR)/t2.json
 	@echo "trace-smoke: ok (valid shape, deterministic output)"
 
-ci: build vet lint test race trace-smoke
+ci: build vet lint test race fuzz-smoke trace-smoke

@@ -19,6 +19,11 @@
 //	-enable  a,b,...  run only the named analyzers
 //	-disable a,b,...  skip the named analyzers
 //	-list             print the analyzer suite and exit
+//	-dump-summaries   print the inferred interprocedural flow table
+//	                  (per-function result/param/global/field effects and
+//	                  sink facts) instead of findings, then exit 0
+//	-suppressions     list every "//secmemlint:ignore" comment with
+//	                  file:line, analyzers, and reason (make lint-fix-audit)
 //
 // The suite includes the taint-tracking analyzers (secretflow, cttiming,
 // taintescape), which are seeded by "//secmemlint:secret" annotations on
@@ -46,6 +51,8 @@ func main() {
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	dumpSummaries := flag.Bool("dump-summaries", false, "print the inferred interprocedural flow table and exit")
+	suppressions := flag.Bool("suppressions", false, "list every suppression comment with its reason and exit")
 	flag.Parse()
 	if *jsonOut {
 		*format = "json"
@@ -74,7 +81,10 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(".", patterns)
+	// Load the whole module, then report only on the selected patterns:
+	// interprocedural summaries for out-of-scope callees keep a scoped run
+	// like `secmemlint ./internal/core` as precise as a full one.
+	all, pkgs, err := lint.LoadScoped(".", patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secmemlint:", err)
 		os.Exit(2)
@@ -85,7 +95,31 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	if *dumpSummaries {
+		fmt.Print(lint.DumpSummaries(all))
+		return
+	}
+	if *suppressions {
+		sups := lint.Suppressions(pkgs)
+		if *format == "json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if sups == nil {
+				sups = []lint.Suppression{}
+			}
+			if err := enc.Encode(sups); err != nil {
+				fmt.Fprintln(os.Stderr, "secmemlint:", err)
+				os.Exit(2)
+			}
+			return
+		}
+		for _, s := range sups {
+			fmt.Printf("%s:%d: %s — %s\n", s.File, s.Line, strings.Join(s.Analyzers, ","), s.Reason)
+		}
+		return
+	}
+
+	diags := lint.RunScoped(pkgs, all, analyzers)
 	relativize(diags)
 	switch *format {
 	case "json":

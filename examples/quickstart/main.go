@@ -49,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("read back:        %q\n", buf)
+	fmt.Printf("read back:        %q\n", buf) //secmemlint:ignore secretflow the demo prints the plaintext it wrote and read back on purpose
 	fmt.Printf("data ready at cycle %d, authenticated at cycle %d (+%d cycles of GCM+tree)\n\n",
 		res.DataReady, res.AuthDone, res.AuthDone-res.DataReady)
 

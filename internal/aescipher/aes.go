@@ -33,7 +33,7 @@ var (
 func mul2(b byte) byte {
 	hi := b & 0x80
 	b <<= 1
-	if hi != 0 {
+	if hi != 0 { //secmemlint:ignore cttiming models the hardware engine's combinational xtime reduction; software branch timing out of scope
 		b ^= 0x1b
 	}
 	return b
@@ -105,7 +105,6 @@ type Cipher struct {
 
 // New expands key (16, 24, or 32 bytes for AES-128/192/256) into a Cipher.
 //
-//secmemlint:secret key
 func New(key []byte) (*Cipher, error) {
 	var rounds int
 	switch len(key) {
@@ -126,7 +125,6 @@ func New(key []byte) (*Cipher, error) {
 // MustNew is New but panics on a bad key size; convenient for fixed-size
 // keys generated inside the simulator.
 //
-//secmemlint:secret key
 func MustNew(key []byte) *Cipher {
 	c, err := New(key)
 	if err != nil {
@@ -140,7 +138,6 @@ func MustNew(key []byte) *Cipher {
 // and are suppressed per line because this code models the hardware
 // engine's combinational S-box, where no cache exists (Section 5).
 //
-//secmemlint:secret w
 func subWord(w uint32) uint32 {
 	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 | //secmemlint:ignore cttiming models the hardware engine's combinational S-box; software table timing out of scope
 		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff]) //secmemlint:ignore cttiming models the hardware engine's combinational S-box; software table timing out of scope
@@ -148,7 +145,6 @@ func subWord(w uint32) uint32 {
 
 func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
 
-//secmemlint:secret key
 func (c *Cipher) expandKey(key []byte) {
 	nk := len(key) / 4
 	n := 4 * (c.rounds + 1)
@@ -189,9 +185,13 @@ func invMixWord(w uint32) uint32 {
 	var b [4]byte
 	b[0], b[1], b[2], b[3] = byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
 	var o [4]byte
+	//secmemlint:ignore cttiming models the hardware key-schedule InvMixColumns network; software table timing out of scope
 	o[0] = mul14[b[0]] ^ mul11[b[1]] ^ mul13[b[2]] ^ mul9[b[3]]
+	//secmemlint:ignore cttiming models the hardware key-schedule InvMixColumns network; software table timing out of scope
 	o[1] = mul9[b[0]] ^ mul14[b[1]] ^ mul11[b[2]] ^ mul13[b[3]]
+	//secmemlint:ignore cttiming models the hardware key-schedule InvMixColumns network; software table timing out of scope
 	o[2] = mul13[b[0]] ^ mul9[b[1]] ^ mul14[b[2]] ^ mul11[b[3]]
+	//secmemlint:ignore cttiming models the hardware key-schedule InvMixColumns network; software table timing out of scope
 	o[3] = mul11[b[0]] ^ mul13[b[1]] ^ mul9[b[2]] ^ mul14[b[3]]
 	return uint32(o[0])<<24 | uint32(o[1])<<16 | uint32(o[2])<<8 | uint32(o[3])
 }
@@ -256,7 +256,6 @@ func (c *Cipher) Decrypt(dst, src []byte) {
 // The state is stored column-major as FIPS-197 does: s[4*c+r] is row r,
 // column c. Round keys are one uint32 per column, big-endian.
 
-//secmemlint:secret rk
 func addRoundKey(s *[16]byte, rk []uint32) {
 	for col := 0; col < 4; col++ {
 		w := rk[col]
@@ -269,13 +268,13 @@ func addRoundKey(s *[16]byte, rk []uint32) {
 
 func subBytes(s *[16]byte) {
 	for i := range s {
-		s[i] = sbox[s[i]]
+		s[i] = sbox[s[i]] //secmemlint:ignore cttiming models the hardware engine's combinational S-box; software table timing out of scope
 	}
 }
 
 func invSubBytes(s *[16]byte) {
 	for i := range s {
-		s[i] = invSbox[s[i]]
+		s[i] = invSbox[s[i]] //secmemlint:ignore cttiming models the hardware engine's combinational inverse S-box; software table timing out of scope
 	}
 }
 
@@ -305,10 +304,10 @@ func mixColumns(s *[16]byte) {
 func invMixColumns(s *[16]byte) {
 	for c := 0; c < 4; c++ {
 		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
-		s[4*c+0] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3]
-		s[4*c+1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3]
-		s[4*c+2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3]
-		s[4*c+3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3]
+		s[4*c+0] = mul14[a0] ^ mul11[a1] ^ mul13[a2] ^ mul9[a3] //secmemlint:ignore cttiming models the hardware engine's combinational InvMixColumns network; software table timing out of scope
+		s[4*c+1] = mul9[a0] ^ mul14[a1] ^ mul11[a2] ^ mul13[a3] //secmemlint:ignore cttiming models the hardware engine's combinational InvMixColumns network; software table timing out of scope
+		s[4*c+2] = mul13[a0] ^ mul9[a1] ^ mul14[a2] ^ mul11[a3] //secmemlint:ignore cttiming models the hardware engine's combinational InvMixColumns network; software table timing out of scope
+		s[4*c+3] = mul11[a0] ^ mul13[a1] ^ mul9[a2] ^ mul14[a3] //secmemlint:ignore cttiming models the hardware engine's combinational InvMixColumns network; software table timing out of scope
 	}
 }
 

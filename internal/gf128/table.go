@@ -49,7 +49,6 @@ func mulX(e Element) Element {
 // NewProductTable precomputes the Shoup table for multiplicand h: entry
 // rev4[i] is i·h, filled by doubling (i even) and adding h (i odd).
 //
-//secmemlint:secret h return
 func NewProductTable(h Element) ProductTable {
 	var t ProductTable
 	t.m[rev4[1]] = h
@@ -65,7 +64,6 @@ func NewProductTable(h Element) ProductTable {
 // the hardware multiplier's parallel partial-product mux; like the oracle's
 // data-dependent XORs, their software cache timing is out of scope.
 //
-//secmemlint:secret e return
 func (e Element) MulTable(t *ProductTable) Element {
 	var z Element
 	for _, word := range [2]uint64{e.Lo, e.Hi} {
@@ -87,7 +85,6 @@ func (e Element) MulTable(t *ProductTable) Element {
 // matches GHASH byte for byte and never touches the heap, so per-block MAC
 // paths can call it at memory-traffic rates.
 //
-//secmemlint:secret return
 func GHASHTable(t *ProductTable, aad, ct []byte) [16]byte {
 	var y Element
 	feed := func(p []byte) {

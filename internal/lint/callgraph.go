@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file builds the repo-wide call graph the interprocedural summaries
+// (summary.go) are computed over. It is deliberately stdlib-only and
+// syntax-driven: nodes are the module's own function and method
+// declarations, and an edge A -> B exists when A's body mentions B — a
+// static call, a method call on a concrete receiver, a method value, or a
+// function reference stored into a callback slot. Treating every reference
+// as a potential call over-approximates edges (a stored callback might
+// never run), which is the safe direction for taint propagation: extra
+// edges can only make summaries more conservative, never miss a flow.
+//
+// Interface method calls and calls through function-typed values resolve to
+// no module node; summary.go models those with the conservative
+// unknown-callee transfer instead (see the soundness notes there and in
+// DESIGN.md §12).
+
+// callGraph is the module call graph plus the declaration index the
+// summary fixpoint walks.
+type callGraph struct {
+	// decls maps each module function object to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+	// pkgOf maps each module function to the package whose type info
+	// resolves its body.
+	pkgOf map[*types.Func]*Package
+	// callees holds the adjacency: every module function referenced by the
+	// key's body (including references inside closures, which execute with
+	// the enclosing function's taint environment).
+	callees map[*types.Func][]*types.Func
+	// order lists every node in a deterministic order (file position) so
+	// fixpoints and dumps are reproducible.
+	order []*types.Func
+}
+
+// buildCallGraph indexes all function declarations in pkgs and records
+// reference edges between them.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		pkgOf:   make(map[*types.Func]*Package),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[obj] = fn
+				g.pkgOf[obj] = pkg
+				g.order = append(g.order, obj)
+			}
+		}
+	}
+	for fn, decl := range g.decls {
+		info := g.pkgOf[fn].Info
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := info.Uses[id].(*types.Func)
+			if !ok || seen[callee] {
+				return true
+			}
+			// Method selections resolve the interface method object for
+			// interface receivers; those have no decl and are skipped here
+			// (handled by the unknown-callee model).
+			if _, inModule := g.decls[callee]; inModule {
+				seen[callee] = true
+				g.callees[fn] = append(g.callees[fn], callee)
+			}
+			return true
+		})
+		sort.Slice(g.callees[fn], func(i, j int) bool {
+			return g.callees[fn][i].Pos() < g.callees[fn][j].Pos()
+		})
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.order[i].Pos() < g.order[j].Pos() })
+	return g
+}
+
+// sccs returns the strongly connected components of the call graph in
+// reverse topological order of the condensation: every callee's component
+// appears before its callers'. Processing components in this order lets the
+// summary fixpoint see finished callee summaries except inside recursive
+// cycles, which iterate within their component. This is Tarjan's algorithm;
+// its emission order is exactly the order needed (a component is emitted
+// only after everything reachable from it).
+func (g *callGraph) sccs() [][]*types.Func {
+	type nodeState struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[*types.Func]*nodeState, len(g.order))
+	var stack []*types.Func
+	var comps [][]*types.Func
+	next := 0
+
+	// Iterative Tarjan: the repo's call chains are shallow, but recursion
+	// depth should not depend on analyzed code shape.
+	type frame struct {
+		fn *types.Func
+		ci int // next callee index to visit
+	}
+	var visit func(root *types.Func)
+	visit = func(root *types.Func) {
+		frames := []frame{{fn: root}}
+		st := &nodeState{index: next, lowlink: next}
+		next++
+		states[root] = st
+		stack = append(stack, root)
+		st.onStack = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			fst := states[f.fn]
+			advanced := false
+			for f.ci < len(g.callees[f.fn]) {
+				callee := g.callees[f.fn][f.ci]
+				f.ci++
+				cst, seen := states[callee]
+				if !seen {
+					cst = &nodeState{index: next, lowlink: next}
+					next++
+					states[callee] = cst
+					stack = append(stack, callee)
+					cst.onStack = true
+					frames = append(frames, frame{fn: callee})
+					advanced = true
+					break
+				}
+				if cst.onStack && cst.index < fst.lowlink {
+					fst.lowlink = cst.index
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All callees visited: pop the frame, fold lowlink into the
+			// parent, and emit a component if this node is its root.
+			if fst.lowlink == fst.index {
+				var comp []*types.Func
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					states[top].onStack = false
+					comp = append(comp, top)
+					if top == f.fn {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i].Pos() < comp[j].Pos() })
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := states[frames[len(frames)-1].fn]
+				if fst.lowlink < parent.lowlink {
+					parent.lowlink = fst.lowlink
+				}
+			}
+		}
+	}
+	for _, fn := range g.order {
+		if _, seen := states[fn]; !seen {
+			visit(fn)
+		}
+	}
+	return comps
+}

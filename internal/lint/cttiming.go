@@ -17,8 +17,10 @@ import (
 // an explicit "//secmemlint:ignore cttiming <reason>" at sites that model
 // combinational hardware, where software timing is out of scope. Both keep
 // the allowlist visible in the source.
+const ctTimingName = "cttiming"
+
 var CTTiming = &Analyzer{
-	Name: "cttiming",
+	Name: ctTimingName,
 	Doc:  "no branch condition or memory index may depend on secret data",
 	Run:  runCTTiming,
 }
@@ -62,6 +64,11 @@ func runCTTiming(pass *Pass) {
 								"slice bound depends on secret data; secret-dependent extents leak through timing and access patterns")
 						}
 					}
+				case *ast.CallExpr:
+					// Interprocedural: a secret argument whose callee's
+					// summary says it reaches a branch or table index below
+					// the call leaks just the same.
+					checkCallSiteSinks(pass, ctx, n, ctTimingName)
 				}
 				return true
 			})

@@ -24,9 +24,12 @@ func TestGoldenFixtures(t *testing.T) {
 		{RandHygiene, []string{"randhygiene/cryptoish", "randhygiene/trace"}},
 		{VerifyDrop, []string{"verifydrop"}},
 		{SliceRetain, []string{"sliceretain/gcmmode", "sliceretain/plain"}},
-		{SecretFlow, []string{"secretflow/leaky", "secretflow/clean"}},
-		{CTTiming, []string{"cttiming/branchy", "cttiming/clean"}},
+		{SecretFlow, []string{"secretflow/leaky", "secretflow/clean", "secretflow/interproc"}},
+		{CTTiming, []string{"cttiming/branchy", "cttiming/clean", "cttiming/interproc"}},
 		{TaintEscape, []string{"taintescape/alias", "taintescape/clean"}},
+		{SharedState, []string{"sharedstate/racy", "sharedstate/clean"}},
+		{LockDiscipline, []string{"lockdiscipline/leaky", "lockdiscipline/clean"}},
+		{GlobalMut, []string{"globalmut/core", "globalmut/merkle"}},
 	}
 	for _, c := range cases {
 		for _, fixture := range c.fixtures {

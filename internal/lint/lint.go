@@ -17,10 +17,20 @@
 //     data (the constant-time discipline, checked statically).
 //   - taintescape: exported APIs must not return or store un-copied aliases
 //     of secret state.
+//   - sharedstate: state reached from more than one goroutine must be
+//     mutex-guarded or accessed via sync/atomic.
+//   - lockdiscipline: every Lock is released on all paths (defer
+//     preferred) and no lock is held across a blocking operation.
+//   - globalmut: no mutable package-level state in the simulator core
+//     packages, so shards and tenants stay independently instantiable.
 //
-// The last three ride on the taint/dataflow engine in taint.go, seeded by
-// "//secmemlint:secret" annotations on the real key, pad, and plaintext
-// state across aescipher, gcmmode, gf128, and core.
+// secretflow, cttiming, and taintescape ride on the taint/dataflow engine
+// in taint.go, seeded by "//secmemlint:secret" annotations on the real
+// key, pad, and plaintext state across aescipher, gcmmode, gf128, and
+// core, and extended across function boundaries by the interprocedural
+// summaries of summary.go over the call graph of callgraph.go. The three
+// concurrency analyzers are the static merge gate for the parallel
+// event-driven simulator core (ROADMAP).
 //
 // The compiler cannot see any of these properties; the analyzers keep all
 // packages honest through refactors. cmd/secmemlint is the CLI driver and
@@ -94,16 +104,35 @@ func All() []*Analyzer {
 		SecretFlow,
 		CTTiming,
 		TaintEscape,
+		SharedState,
+		LockDiscipline,
+		GlobalMut,
 	}
 }
 
 // Run executes analyzers over pkgs, drops findings silenced by
 // "//secmemlint:ignore" comments, and returns the rest sorted by position.
+// Before any analyzer runs it computes the module-wide interprocedural
+// summary table (summary.go); the suppression set is collected first
+// because suppressed sink sites must not propagate sink facts through
+// summaries.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	secrets := collectSecrets(pkgs)
+	return RunScoped(pkgs, pkgs, analyzers)
+}
+
+// RunScoped analyzes context — which should be every package of the module,
+// from one Load call — but reports findings only for the packages in
+// selected. The split matters for the interprocedural pass: summaries,
+// secret annotations, and suppressions in out-of-scope packages must be
+// visible while analyzing a scoped selection, or every call leaving the
+// selection degrades to the conservative unknown-callee model and buries
+// real findings in noise.
+func RunScoped(selected, context []*Package, analyzers []*Analyzer) []Diagnostic {
+	secrets := collectSecrets(context)
+	ignores := collectModuleIgnores(context)
+	computeInterproc(context, secrets, ignores)
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
+	for _, pkg := range selected {
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
 			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &pkgDiags, secrets: secrets})
@@ -193,6 +222,78 @@ func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
 		return true
 	})
 	return lines
+}
+
+// collectModuleIgnores merges every package's suppression set into one
+// module-wide table (keys are absolute filenames, so the merge is safe).
+func collectModuleIgnores(pkgs []*Package) ignoreSet {
+	merged := make(ignoreSet)
+	for _, pkg := range pkgs {
+		for file, byLine := range collectIgnores(pkg) {
+			dst := merged[file]
+			if dst == nil {
+				dst = make(map[int][]string)
+				merged[file] = dst
+			}
+			for line, names := range byLine {
+				dst[line] = append(dst[line], names...)
+			}
+		}
+	}
+	return merged
+}
+
+// A Suppression is one "//secmemlint:ignore" comment in the tree, with its
+// mandatory reason — the audit view behind `make lint-fix-audit`.
+type Suppression struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+}
+
+// Suppressions lists every well-formed suppression comment in pkgs, sorted
+// by file and line, so the allowlisted exemption set stays reviewable.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	seen := make(map[string]map[int]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					if len(fields) < 2 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					if seen[pos.Filename][pos.Line] {
+						continue // files shared between packages (none today)
+					}
+					if seen[pos.Filename] == nil {
+						seen[pos.Filename] = make(map[int]bool)
+					}
+					seen[pos.Filename][pos.Line] = true
+					out = append(out, Suppression{
+						File:      pos.Filename,
+						Line:      pos.Line,
+						Analyzers: strings.Split(fields[0], ","),
+						Reason:    strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 func (s ignoreSet) suppresses(d Diagnostic) bool {

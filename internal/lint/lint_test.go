@@ -40,9 +40,12 @@ func TestViolationsAreDetected(t *testing.T) {
 		"randhygiene":    "randhygiene/cryptoish",
 		"verifydrop":     "verifydrop",
 		"sliceretain":    "sliceretain/gcmmode",
-		"secretflow":     "secretflow/leaky",
-		"cttiming":       "cttiming/branchy",
+		"secretflow":     "secretflow/interproc",
+		"cttiming":       "cttiming/interproc",
 		"taintescape":    "taintescape/alias",
+		"sharedstate":    "sharedstate/racy",
+		"lockdiscipline": "lockdiscipline/leaky",
+		"globalmut":      "globalmut/core",
 	}
 	for name, dir := range fixtures {
 		pkgs, err := Load(filepath.Join("testdata", "src", filepath.FromSlash(dir)), []string{"."})

@@ -113,6 +113,51 @@ func Load(root string, patterns []string) ([]*Package, error) {
 	return out, nil
 }
 
+// LoadScoped loads every package of the module enclosing root in one Load
+// call (so type objects are shared) and returns both the full set and the
+// subset matched by patterns. Scoped lint runs must analyze the whole
+// module — interprocedural summaries for out-of-scope callees are what
+// keep a selection like ./internal/core precise — while reporting only on
+// the selection; see RunScoped.
+func LoadScoped(root string, patterns []string) (all, selected []*Package, err error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	modRoot, _, err := findModule(absRoot)
+	if err != nil {
+		return nil, nil, err
+	}
+	want := make(map[string]bool)
+	var extra []string // requested dirs the recursive walk skips (e.g. testdata)
+	for _, pat := range patterns {
+		dirs, err := expandPattern(absRoot, pat)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, d := range dirs {
+			if !want[d] {
+				want[d] = true
+				extra = append(extra, d)
+			}
+		}
+	}
+	sort.Strings(extra)
+	all, err = Load(modRoot, append([]string{"./..."}, extra...))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pkg := range all {
+		if want[pkg.Dir] {
+			selected = append(selected, pkg)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, nil, fmt.Errorf("lint: no Go packages match %v under %s", patterns, absRoot)
+	}
+	return all, selected, nil
+}
+
 type loader struct {
 	fset     *token.FileSet
 	modRoot  string

@@ -13,9 +13,13 @@ import (
 // on-chip plaintext — the paper's confidentiality argument (Section 3)
 // assumes the only off-chip images of those values are the ciphertexts and
 // clipped MACs. The analyzer walks the taint engine's per-function state
-// and reports any secret-derived argument reaching a sink.
+// and reports any secret-derived argument reaching a sink — directly, or
+// through any chain of module functions whose interprocedural summaries
+// say the argument reaches a sink below the call.
+const secretFlowName = "secretflow"
+
 var SecretFlow = &Analyzer{
-	Name: "secretflow",
+	Name: secretFlowName,
 	Doc:  "secret-derived values must not reach fmt/log/error formatting or obsv sinks",
 	Run:  runSecretFlow,
 }
@@ -45,45 +49,48 @@ func runSecretFlow(pass *Pass) {
 				if !ok {
 					return true
 				}
-				checkSinkCall(pass, ctx, call)
+				if desc, ok := sinkCallDesc(pass.Pkg.Info, call); ok {
+					reportTaintedArgs(pass, ctx, call, desc)
+				}
+				checkCallSiteSinks(pass, ctx, call, secretFlowName)
 				return true
 			})
 		}
 	}
 }
 
-func checkSinkCall(pass *Pass, ctx *taintCtx, call *ast.CallExpr) {
-	info := pass.Pkg.Info
-
+// sinkCallDesc classifies a call as a publishing sink — panic, fmt/log/
+// errors formatting, or an obsv-shaped metric/trace method — and returns a
+// human description. Shared with the summary engine so sink facts and
+// direct findings agree on what counts as a sink.
+func sinkCallDesc(info *types.Info, call *ast.CallExpr) (string, bool) {
 	// panic(v) prints v's formatted value on the crash path.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
-			reportTaintedArgs(pass, ctx, call, "panic (panic values are printed with the crash)")
-			return
+			return "panic (panic values are printed with the crash)", true
 		}
 	}
 
 	if fn, pkg := qualifiedCallee(info, call); fn != "" && fmtSinkPkgs[pkg] {
-		reportTaintedArgs(pass, ctx, call, pkg+"."+fn)
-		return
+		return pkg + "." + fn, true
 	}
 
 	// obsv-shaped method sinks: metric registration names and trace labels.
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return
+		return "", false
 	}
 	selection, ok := info.Selections[sel]
 	if !ok {
-		return
+		return "", false
 	}
 	recv := namedTypeName(selection.Recv())
 	methods, ok := obsvSinks[recv]
 	if !ok || !methods[sel.Sel.Name] {
-		return
+		return "", false
 	}
-	reportTaintedArgs(pass, ctx, call,
-		recv+"."+sel.Sel.Name+" (metric names and trace labels are exported verbatim into observability artifacts)")
+	return recv + "." + sel.Sel.Name +
+		" (metric names and trace labels are exported verbatim into observability artifacts)", true
 }
 
 func reportTaintedArgs(pass *Pass, ctx *taintCtx, call *ast.CallExpr, sink string) {

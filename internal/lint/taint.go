@@ -11,10 +11,9 @@ import (
 // cttiming, and taintescape analyzers. Secrecy is a property the Go type
 // system cannot express: a []byte holding an AES key schedule and a []byte
 // holding a public trace label have the same type. The engine adds that
-// missing bit as a two-point lattice (public ⊑ secret) seeded by explicit
-// "//secmemlint:secret" annotations and propagated intra-procedurally
-// through assignments, composite literals, indexing/slicing, arithmetic and
-// XOR, and calls to functions whose results are annotated secret.
+// missing bit as a lattice of label sets (summary.go) seeded by explicit
+// "//secmemlint:secret" annotations and propagated through assignments,
+// composite literals, indexing/slicing, arithmetic and XOR, and calls.
 //
 // Annotation grammar (the sources of taint):
 //
@@ -32,13 +31,15 @@ import (
 // "//secmemlint:ignore <analyzer> <reason>" mechanism at the finding site,
 // so every place the discipline is waived carries its justification.
 //
-// The analysis is intentionally intra-procedural: cross-function flow is
-// declared at boundaries (annotated params, fields, and results) rather
-// than inferred, which keeps findings explainable — every report can be
-// traced from an annotation through local assignments to the sink. Known
-// holes, accepted for predictability: writes through pointer/out
-// parameters do not taint the caller's variable, and element writes into a
-// struct field do not taint the enclosing struct variable.
+// Cross-function flow is inferred: calls to functions declared anywhere in
+// the module are resolved through the interprocedural summaries of
+// summary.go, which propagate param/receiver -> result/receiver/out-param
+// flows automatically. The named-annotation form above remains only for
+// roots the analysis cannot see (and for fixtures); helpers no longer need
+// it. Known holes, accepted for predictability: effects applied at call
+// sites taint only targets resolving to a plain identifier (a write into
+// x.y.z's storage does not taint x), and writes into a struct field taint
+// the field object, not the enclosing struct variable.
 const secretPrefix = "secmemlint:secret"
 
 // declassifiedPkgs are import paths whose function results are public even
@@ -53,13 +54,17 @@ var declassifiedPkgs = map[string]bool{
 // gcmmode touches it through a selector.
 type SecretIndex struct {
 	// objs holds annotated objects: struct fields, parameters, receivers,
-	// and variables.
+	// and variables — plus package-level vars promoted by the
+	// interprocedural engine because secret data flows into them.
 	objs map[types.Object]bool
 	// results holds functions whose results are annotated secret.
 	results map[types.Object]bool
 	// taints caches per-function dataflow results across the analyzers of
 	// one Run.
 	taints map[*ast.FuncDecl]*funcTaint
+	// interp is the interprocedural summary table (summary.go), attached
+	// by Run before any analyzer executes.
+	interp *interproc
 }
 
 // collectSecrets builds the annotation index over all loaded packages.
@@ -251,50 +256,64 @@ func (idx *SecretIndex) collectFuncDoc(info *types.Info, fn *ast.FuncDecl, consu
 	}
 }
 
-// funcTaint is the fixpoint result for one function body.
+// funcTaint is the fixpoint result for one function body: the label sets
+// carried by each object. In the analyzers' runtime mode only secretLabel
+// is ever seeded; summary computation additionally seeds receiver and
+// parameter bits (summary.go).
 type funcTaint struct {
-	// tainted holds locals that carry secret-derived data.
-	tainted map[types.Object]bool
-	// alias holds locals that directly alias secret backing storage
-	// (assigned from an annotated object or a reslice of one, with no
-	// copying step in between) — the taintescape notion.
-	alias map[types.Object]bool
+	// labels holds value taint: which inputs an object's contents derive
+	// from. Struct-field objects appear here when a field is written with
+	// labeled data (per-field, not per-instance, which is the conservative
+	// direction).
+	labels map[types.Object]labelSet
+	// alias holds storage aliasing: which inputs' backing storage an
+	// object may share (the taintescape notion).
+	alias map[types.Object]labelSet
 }
 
 // taintCtx bundles what an analyzer needs to query taint inside one
 // function: the module index, the package's type info, and the function's
-// fixpoint state.
+// fixpoint state. sum and slots are non-nil only while summary.go computes
+// the enclosing function's interprocedural summary.
 type taintCtx struct {
 	idx  *SecretIndex
+	pkg  *Package
 	info *types.Info
 	ft   *funcTaint
+	// sum accumulates out-effects and sink facts during summary mode.
+	sum *summary
+	// slots maps receiver/parameter objects to their slot (recvSlot for
+	// the receiver) during summary mode.
+	slots map[types.Object]int
+	// changed tracks label growth within one fixpoint sweep.
+	changed bool
 }
 
 // analyze returns the taint context for fn, computing and caching the
-// intra-procedural fixpoint on first use.
+// runtime-mode fixpoint on first use.
 func (idx *SecretIndex) analyze(pass *Pass, fn *ast.FuncDecl) *taintCtx {
 	ft, ok := idx.taints[fn]
 	if !ok {
 		ft = &funcTaint{
-			tainted: make(map[types.Object]bool),
-			alias:   make(map[types.Object]bool),
+			labels: make(map[types.Object]labelSet),
+			alias:  make(map[types.Object]labelSet),
 		}
 		idx.taints[fn] = ft
 		if fn.Body != nil {
-			ctx := &taintCtx{idx: idx, info: pass.Pkg.Info, ft: ft}
+			ctx := &taintCtx{idx: idx, pkg: pass.Pkg, info: pass.Pkg.Info, ft: ft}
 			ctx.fixpoint(fn.Body)
 		}
 	}
-	return &taintCtx{idx: idx, info: pass.Pkg.Info, ft: ft}
+	return &taintCtx{idx: idx, pkg: pass.Pkg, info: pass.Pkg.Info, ft: ft}
 }
 
-// fixpoint iterates the transfer functions until the tainted/alias sets
-// stop growing. The sets only grow, so termination is bounded by the
-// number of objects; the iteration cap is a safety net, not a limit hit in
+// fixpoint iterates the transfer functions until the label sets stop
+// growing. Labels only accumulate, so termination is bounded by objects
+// times label bits; the iteration cap is a safety net, not a limit hit in
 // practice.
 func (c *taintCtx) fixpoint(body *ast.BlockStmt) {
 	for i := 0; i < 1000; i++ {
-		before := len(c.ft.tainted) + len(c.ft.alias)
+		c.changed = false
 		ast.Inspect(body, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
@@ -305,26 +324,43 @@ func (c *taintCtx) fixpoint(body *ast.BlockStmt) {
 				c.transferRange(n)
 			case *ast.CallExpr:
 				c.transferCopy(n)
+				c.transferCallEffects(n)
 			}
 			return true
 		})
-		if len(c.ft.tainted)+len(c.ft.alias) == before {
+		if !c.changed {
 			return
 		}
 	}
 }
 
-func (c *taintCtx) taintObj(obj types.Object) {
-	if obj != nil {
-		c.ft.tainted[obj] = true
+// addLabels merges bits into obj's value labels.
+func (c *taintCtx) addLabels(obj types.Object, bits labelSet) {
+	if obj == nil || bits == 0 {
+		return
+	}
+	if c.ft.labels[obj]&bits != bits {
+		c.ft.labels[obj] |= bits
+		c.changed = true
+	}
+}
+
+func (c *taintCtx) addAlias(obj types.Object, bits labelSet) {
+	if obj == nil || bits == 0 {
+		return
+	}
+	if c.ft.alias[obj]&bits != bits {
+		c.ft.alias[obj] |= bits
+		c.changed = true
 	}
 }
 
 // lhsObj resolves an assignment target to the object whose contents the
 // write lands in: a plain identifier, possibly through index, slice,
-// dereference, or parens. Selector chains stop resolution: a write into
-// one field must not taint the whole struct variable (f.key[i] = b taints
-// neither f nor f.c).
+// dereference, address-of, or parens. Selector chains stop resolution: a
+// write into one field must not taint the whole struct variable
+// (f.key[i] = b taints neither f nor f.c); the field object itself is
+// handled by fieldOf.
 func (c *taintCtx) lhsObj(e ast.Expr) types.Object {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
@@ -338,28 +374,159 @@ func (c *taintCtx) lhsObj(e ast.Expr) types.Object {
 		return c.lhsObj(e.X)
 	case *ast.StarExpr:
 		return c.lhsObj(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.lhsObj(e.X)
+		}
 	}
 	return nil
+}
+
+// fieldOf resolves a write target that lands in a struct field to the
+// field object (x.y[i] = v labels field y), or nil.
+func (c *taintCtx) fieldOf(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+		}
+	case *ast.IndexExpr:
+		return c.fieldOf(e.X)
+	case *ast.SliceExpr:
+		return c.fieldOf(e.X)
+	case *ast.StarExpr:
+		return c.fieldOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.fieldOf(e.X)
+		}
+	}
+	return nil
+}
+
+// storageRoot resolves the outermost object a write reaches through any
+// chain of selectors, indexes, and dereferences. Used only for recording
+// summary out-effects (a write into d.buf is an effect on receiver d).
+func (c *taintCtx) storageRoot(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.info.Uses[e]; obj != nil {
+			return obj
+		}
+		return c.info.Defs[e]
+	case *ast.IndexExpr:
+		return c.storageRoot(e.X)
+	case *ast.SliceExpr:
+		return c.storageRoot(e.X)
+	case *ast.StarExpr:
+		return c.storageRoot(e.X)
+	case *ast.SelectorExpr:
+		return c.storageRoot(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.storageRoot(e.X)
+		}
+	}
+	return nil
+}
+
+// assign applies a labeled write to target: the plain-identifier root if
+// one exists, else the struct field being written; and, in summary mode,
+// records the out-effect on receiver/param/field/global storage.
+func (c *taintCtx) assign(target ast.Expr, bits labelSet) {
+	if bits == 0 {
+		return
+	}
+	if obj := c.lhsObj(target); obj != nil {
+		c.addLabels(obj, bits)
+		c.recordEffect(target, bits)
+	} else if fld := c.fieldOf(target); fld != nil {
+		c.addLabels(fld, bits)
+		c.recordFieldEffect(fld, c.storageRoot(target), bits)
+	}
+}
+
+// recordEffect notes, during summary computation, that a write carrying
+// bits lands in storage reachable from the receiver, a parameter, or a
+// package-level variable.
+func (c *taintCtx) recordEffect(target ast.Expr, bits labelSet) {
+	if c.sum == nil || bits == 0 {
+		return
+	}
+	root := c.storageRoot(target)
+	if root == nil {
+		return
+	}
+	if slot, ok := c.slots[root]; ok {
+		// Drop the slot's own seed bit: x = x is not an effect.
+		seed := recvLabel
+		if slot != recvSlot {
+			seed = paramLabel(slot)
+		}
+		bits &^= seed
+		if bits == 0 {
+			return
+		}
+		if slot == recvSlot {
+			c.sum.recv |= bits
+		} else if slot < len(c.sum.params) {
+			c.sum.params[slot] |= bits
+		}
+		return
+	}
+	if v, ok := root.(*types.Var); ok && !v.IsField() && v.Parent() != nil &&
+		v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		c.sum.globals[v] |= bits
+	}
+}
+
+// recordFieldEffect notes, during summary computation, a labeled write into
+// a struct field of caller-visible storage (receiver, parameter, or
+// package variable). The receiver bit is dropped: labelsOf already folds a
+// tainted receiver variable into every field read, so keeping it would
+// only let bookkeeping flows (d.n += len(p)) escalate into module-wide
+// field promotion.
+func (c *taintCtx) recordFieldEffect(fld types.Object, root types.Object, bits labelSet) {
+	bits &^= recvLabel
+	if c.sum == nil || bits == 0 || root == nil {
+		return
+	}
+	if _, ok := c.slots[root]; !ok {
+		v, isVar := root.(*types.Var)
+		if !isVar || v.IsField() || v.Parent() == nil || v.Pkg() == nil ||
+			v.Parent() != v.Pkg().Scope() {
+			return // a local struct's field labels die with this function
+		}
+	}
+	c.sum.fields[fld] |= bits
 }
 
 func (c *taintCtx) transferAssign(n *ast.AssignStmt) {
 	// Tuple forms: x, ok := m[k] / v, ok := y.(T) / multi-return call.
 	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
 		rhs := ast.Unparen(n.Rhs[0])
-		switch rhs.(type) {
+		switch rhs := rhs.(type) {
 		case *ast.IndexExpr, *ast.TypeAssertExpr:
 			// The comma-ok bool reveals presence, not contents: taint the
 			// value, leave ok public (branching on map presence is how the
 			// on-chip residency checks work and is address-, not
 			// secret-, dependent).
-			if c.Tainted(rhs) {
-				c.taintObj(c.lhsObj(n.Lhs[0]))
-			}
+			c.assign(n.Lhs[0], c.labelsOf(rhs))
 		case *ast.CallExpr:
-			if c.Tainted(rhs) {
-				for _, lhs := range n.Lhs {
-					c.taintObj(c.lhsObj(lhs))
+			// Per-result precision when the callee has a summary, so a
+			// public second result (count, ok) does not inherit the first
+			// result's secrecy.
+			if per := c.callResultLabels(rhs); per != nil && len(per) == len(n.Lhs) {
+				for i, lhs := range n.Lhs {
+					c.assign(lhs, per[i])
 				}
+				return
+			}
+			bits := c.labelsOf(rhs)
+			for _, lhs := range n.Lhs {
+				c.assign(lhs, bits)
 			}
 		}
 		return
@@ -369,15 +536,14 @@ func (c *taintCtx) transferAssign(n *ast.AssignStmt) {
 			break
 		}
 		lhs := n.Lhs[i]
-		if c.Tainted(rhs) {
-			c.taintObj(c.lhsObj(lhs))
-		} else if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
-			// x op= rhs keeps x's own taint; nothing to add.
+		c.assign(lhs, c.labelsOf(rhs))
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			// x op= rhs keeps x's own labels; no alias rebinding.
 			continue
 		}
-		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && c.AliasesSecret(rhs) {
-			if obj := c.lhsObj(id); obj != nil {
-				c.ft.alias[obj] = true
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if bits := c.aliasLabelsOf(rhs); bits != 0 {
+				c.addAlias(c.lhsObj(id), bits)
 			}
 		}
 	}
@@ -388,37 +554,33 @@ func (c *taintCtx) transferValueSpec(n *ast.ValueSpec) {
 		if i >= len(n.Names) {
 			break
 		}
-		if c.Tainted(v) {
-			c.taintObj(c.info.Defs[n.Names[i]])
-		}
-		if c.AliasesSecret(v) {
-			if obj := c.info.Defs[n.Names[i]]; obj != nil {
-				c.ft.alias[obj] = true
-			}
-		}
+		obj := c.info.Defs[n.Names[i]]
+		c.addLabels(obj, c.labelsOf(v))
+		c.addAlias(obj, c.aliasLabelsOf(v))
 	}
 }
 
 func (c *taintCtx) transferRange(n *ast.RangeStmt) {
-	if !c.Tainted(n.X) {
+	bits := c.labelsOf(n.X)
+	if bits == 0 {
 		return
 	}
 	if n.Value != nil {
-		c.taintObj(c.lhsObj(n.Value))
+		c.assign(n.Value, bits)
 	}
 	// Keys of slices/arrays are indices (public); map keys share the
 	// container's secrecy.
 	if n.Key != nil {
 		if tv, ok := c.info.Types[n.X]; ok && tv.Type != nil {
 			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-				c.taintObj(c.lhsObj(n.Key))
+				c.assign(n.Key, bits)
 			}
 		}
 	}
 }
 
-// transferCopy models the copy builtin: copying from a secret source makes
-// the destination's contents secret.
+// transferCopy models the copy builtin: copying from a labeled source
+// labels the destination's contents.
 func (c *taintCtx) transferCopy(call *ast.CallExpr) {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok || len(call.Args) != 2 {
@@ -427,94 +589,337 @@ func (c *taintCtx) transferCopy(call *ast.CallExpr) {
 	if b, ok := c.info.Uses[id].(*types.Builtin); !ok || b.Name() != "copy" {
 		return
 	}
-	if c.Tainted(call.Args[1]) {
-		c.taintObj(c.lhsObj(call.Args[0]))
+	c.assign(call.Args[0], c.labelsOf(call.Args[1]))
+}
+
+// transferCallEffects applies a callee's out-effects at the call site: the
+// summary's receiver/param/global flows for module functions, or the
+// conservative unknown-callee model (all inputs flow into every
+// mutable-reference argument and the receiver) for everything else except
+// declassified packages and builtins.
+func (c *taintCtx) transferCallEffects(call *ast.CallExpr) {
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	obj := calleeObject(c.info, call)
+	if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+		return // copy handled by transferCopy; the rest have no effects
+	}
+	fn, _ := obj.(*types.Func)
+	if fn != nil {
+		if pkg := fn.Pkg(); pkg != nil && declassifiedPkgs[pkg.Path()] {
+			return
+		}
+		if sum, sig := c.summaryFor(fn); sum != nil {
+			c.applySummaryEffects(call, sum, sig)
+			return
+		}
+	}
+	// Unknown callee (stdlib, interface method, function value): assume
+	// every input can flow into every mutable-reference argument and the
+	// receiver. binary.BigEndian.PutUint64(dst, secret) must taint dst.
+	bits := c.callInputLabels(call)
+	if bits == 0 {
+		return
+	}
+	for _, arg := range call.Args {
+		if c.mutableRef(arg) {
+			c.assign(arg, bits)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := c.info.Selections[sel]; isSel {
+			c.assign(sel.X, bits)
+		}
 	}
 }
 
-// Tainted reports whether evaluating e can yield secret-derived data.
+func (c *taintCtx) applySummaryEffects(call *ast.CallExpr, sum *summary, sig *types.Signature) {
+	if sum.recv != 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			c.assign(sel.X, c.instantiate(sum.recv, call, sig))
+		}
+	}
+	nparams := sig.Params().Len()
+	for i, eff := range sum.params {
+		if eff == 0 {
+			continue
+		}
+		bits := c.instantiate(eff, call, sig)
+		if bits == 0 {
+			continue
+		}
+		if sig.Variadic() && i == nparams-1 {
+			for j := i; j < len(call.Args); j++ {
+				c.assign(call.Args[j], bits)
+			}
+		} else if i < len(call.Args) {
+			c.assign(call.Args[i], bits)
+		}
+	}
+	for g, eff := range sum.globals {
+		bits := c.instantiate(eff, call, sig)
+		if bits == 0 {
+			continue
+		}
+		if c.sum != nil {
+			c.sum.globals[g] |= bits
+		}
+		c.addLabels(g, bits)
+	}
+	for fld, eff := range sum.fields {
+		bits := c.instantiate(eff, call, sig) &^ recvLabel
+		if bits == 0 {
+			continue
+		}
+		if c.sum != nil {
+			c.sum.fields[fld] |= bits
+		}
+		c.addLabels(fld, bits)
+	}
+}
+
+// mutableRef reports whether an argument's type lets the callee write
+// through it into caller-visible storage.
+func (c *taintCtx) mutableRef(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// callInputLabels unions the labels of every argument and the receiver.
+func (c *taintCtx) callInputLabels(call *ast.CallExpr) labelSet {
+	var bits labelSet
+	for _, arg := range call.Args {
+		bits |= c.labelsOf(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := c.info.Selections[sel]; isSel {
+			bits |= c.labelsOf(sel.X)
+		}
+	}
+	return bits
+}
+
+// summaryFor returns fn's interprocedural summary, if one was computed.
+func (c *taintCtx) summaryFor(fn *types.Func) (*summary, *types.Signature) {
+	if c.idx.interp == nil {
+		return nil, nil
+	}
+	sum, ok := c.idx.interp.summaries[fn]
+	if !ok {
+		return nil, nil
+	}
+	// During summary computation the enclosing function's own (possibly
+	// in-progress) summary is read from the table like any other SCC
+	// member; the SCC fixpoint iterates to convergence.
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil, nil
+	}
+	return sum, sig
+}
+
+// calleeSummary resolves a call to a module function's summary.
+func (c *taintCtx) calleeSummary(call *ast.CallExpr) (*summary, *types.Signature) {
+	fn, ok := calleeObject(c.info, call).(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	return c.summaryFor(fn)
+}
+
+// instantiate maps a summary label set to call-site labels: the secret bit
+// passes through, the receiver bit becomes the receiver expression's
+// labels, each parameter bit becomes its argument's labels, and the
+// overflow bit becomes the union of everything.
+func (c *taintCtx) instantiate(ls labelSet, call *ast.CallExpr, sig *types.Signature) labelSet {
+	return c.instantiateWith(ls, call, sig, c.labelsOf)
+}
+
+func (c *taintCtx) instantiateWith(ls labelSet, call *ast.CallExpr, sig *types.Signature, labelFn func(ast.Expr) labelSet) labelSet {
+	out := ls & secretLabel
+	if ls == out {
+		return out
+	}
+	if ls&recvLabel != 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if _, isSel := c.info.Selections[sel]; isSel {
+				out |= labelFn(sel.X)
+			}
+		}
+	}
+	if ls&overflowLabel != 0 {
+		for _, arg := range call.Args {
+			out |= labelFn(arg)
+		}
+	}
+	nparams := sig.Params().Len()
+	for i := 0; i < nparams && i < maxParamLabels; i++ {
+		if ls&paramLabel(i) == 0 {
+			continue
+		}
+		if sig.Variadic() && i == nparams-1 {
+			for j := i; j < len(call.Args); j++ {
+				out |= labelFn(call.Args[j])
+			}
+		} else if i < len(call.Args) {
+			out |= labelFn(call.Args[i])
+		}
+	}
+	return out
+}
+
+// Tainted reports whether evaluating e can yield secret-derived data — the
+// analyzers' runtime query.
 func (c *taintCtx) Tainted(e ast.Expr) bool {
+	return c.labelsOf(e)&secretLabel != 0
+}
+
+// labelsOf computes the label set of an expression's value.
+func (c *taintCtx) labelsOf(e ast.Expr) labelSet {
 	switch e := e.(type) {
 	case nil:
-		return false
+		return 0
 	case *ast.Ident:
 		obj := c.info.Uses[e]
 		if obj == nil {
 			obj = c.info.Defs[e]
 		}
-		return obj != nil && (c.idx.objs[obj] || c.ft.tainted[obj])
+		if obj == nil {
+			return 0
+		}
+		bits := c.ft.labels[obj]
+		if c.idx.objs[obj] {
+			bits |= secretLabel
+		}
+		return bits
 	case *ast.SelectorExpr:
 		if sel, ok := c.info.Selections[e]; ok {
+			bits := c.labelsOf(e.X) // any field of a labeled value is labeled
 			if c.idx.objs[sel.Obj()] {
-				return true
+				bits |= secretLabel
 			}
-			return c.Tainted(e.X) // any field of a secret value is secret
+			bits |= c.ft.labels[sel.Obj()]
+			return bits
 		}
 		// Qualified identifier pkg.Name.
 		obj := c.info.Uses[e.Sel]
-		return obj != nil && c.idx.objs[obj]
+		if obj == nil {
+			return 0
+		}
+		bits := c.ft.labels[obj]
+		if c.idx.objs[obj] {
+			bits |= secretLabel
+		}
+		return bits
 	case *ast.IndexExpr:
-		// Element of a secret container, or a lookup keyed by a secret
-		// index (sbox[k]): both yield secret-correlated data.
-		return c.Tainted(e.X) || c.Tainted(e.Index)
+		// Element of a labeled container, or a lookup keyed by a labeled
+		// index (sbox[k]): both yield correlated data.
+		return c.labelsOf(e.X) | c.labelsOf(e.Index)
 	case *ast.SliceExpr:
-		return c.Tainted(e.X)
+		return c.labelsOf(e.X)
 	case *ast.ParenExpr:
-		return c.Tainted(e.X)
+		return c.labelsOf(e.X)
 	case *ast.StarExpr:
-		return c.Tainted(e.X)
+		return c.labelsOf(e.X)
 	case *ast.UnaryExpr:
-		return c.Tainted(e.X)
+		return c.labelsOf(e.X)
 	case *ast.BinaryExpr:
 		// Arithmetic, XOR, shifts, and even comparisons propagate: a bool
 		// computed from a secret is a secret-dependent decision.
-		return c.Tainted(e.X) || c.Tainted(e.Y)
+		return c.labelsOf(e.X) | c.labelsOf(e.Y)
 	case *ast.CompositeLit:
+		var bits labelSet
 		for _, elt := range e.Elts {
 			if kv, ok := elt.(*ast.KeyValueExpr); ok {
 				elt = kv.Value
 			}
-			if c.Tainted(elt) {
-				return true
-			}
+			bits |= c.labelsOf(elt)
 		}
-		return false
+		return bits
 	case *ast.TypeAssertExpr:
-		return c.Tainted(e.X)
+		return c.labelsOf(e.X)
 	case *ast.CallExpr:
-		return c.taintedCall(e)
+		return c.callLabels(e)
 	}
-	return false
+	return 0
 }
 
-func (c *taintCtx) taintedCall(call *ast.CallExpr) bool {
-	// Conversions pass taint through: uint32(k), []byte(s), string(b).
+// callResultLabels returns per-result label sets for a call with a module
+// summary, or nil when no per-result information exists.
+func (c *taintCtx) callResultLabels(call *ast.CallExpr) []labelSet {
 	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
-		return len(call.Args) == 1 && c.Tainted(call.Args[0])
+		return nil
+	}
+	fn, ok := calleeObject(c.info, call).(*types.Func)
+	if !ok {
+		return nil
+	}
+	sum, sig := c.summaryFor(fn)
+	if sum == nil {
+		return nil
+	}
+	extra := labelSet(0)
+	if c.idx.results[fn] {
+		extra = secretLabel
+	}
+	out := make([]labelSet, len(sum.results))
+	for i, r := range sum.results {
+		out[i] = c.instantiate(r, call, sig) | extra
+	}
+	return out
+}
+
+func (c *taintCtx) callLabels(call *ast.CallExpr) labelSet {
+	// Conversions pass labels through: uint32(k), []byte(s), string(b).
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return c.labelsOf(call.Args[0])
+		}
+		return 0
 	}
 	obj := calleeObject(c.info, call)
 	if b, ok := obj.(*types.Builtin); ok {
 		switch b.Name() {
 		case "append":
+			var bits labelSet
 			for _, a := range call.Args {
-				if c.Tainted(a) {
-					return true
-				}
+				bits |= c.labelsOf(a)
 			}
-			return false
+			return bits
 		default:
 			// len, cap, make, new, and copy (returns a count) yield
 			// lengths or fresh allocations: public by construction.
-			return false
+			return 0
 		}
 	}
 	if fn, ok := obj.(*types.Func); ok {
 		if pkg := fn.Pkg(); pkg != nil && declassifiedPkgs[pkg.Path()] {
-			return false
+			return 0
 		}
-		return c.idx.results[fn]
+		var bits labelSet
+		if c.idx.results[fn] {
+			bits |= secretLabel
+		}
+		if sum, sig := c.summaryFor(fn); sum != nil {
+			for _, r := range sum.results {
+				bits |= c.instantiate(r, call, sig)
+			}
+			return bits
+		}
+		// External function without a summary: conservatively assume the
+		// results derive from every input.
+		return bits | c.callInputLabels(call)
 	}
-	return false
+	// Indirect call through a function value: same conservative model.
+	return c.callInputLabels(call)
 }
 
 // calleeObject resolves a call's target to its types.Object (function,
@@ -533,38 +938,68 @@ func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
 }
 
 // AliasesSecret reports whether e directly aliases secret backing storage:
-// an annotated object or field, a reslice of one, or a local previously
-// assigned such an alias. Calls (including append and copy idioms) break
-// aliasing — their results are caller-owned memory.
+// an annotated object or field, a reslice of one, a local previously
+// assigned such an alias, or a call whose summary says the result aliases
+// secret-bearing argument storage. append and copy idioms break aliasing —
+// their results are caller-owned memory.
 func (c *taintCtx) AliasesSecret(e ast.Expr) bool {
+	return c.aliasLabelsOf(e)&secretLabel != 0
+}
+
+// aliasLabelsOf computes which inputs' backing storage e may alias.
+func (c *taintCtx) aliasLabelsOf(e ast.Expr) labelSet {
 	switch e := e.(type) {
 	case *ast.Ident:
 		obj := c.info.Uses[e]
 		if obj == nil {
 			obj = c.info.Defs[e]
 		}
-		return obj != nil && (c.idx.objs[obj] || c.ft.alias[obj])
+		if obj == nil {
+			return 0
+		}
+		bits := c.ft.alias[obj]
+		if c.idx.objs[obj] {
+			bits |= secretLabel
+		}
+		return bits
 	case *ast.SelectorExpr:
 		if sel, ok := c.info.Selections[e]; ok {
+			bits := c.aliasLabelsOf(e.X)
 			if c.idx.objs[sel.Obj()] {
-				return true
+				bits |= secretLabel
 			}
-			return c.AliasesSecret(e.X)
+			return bits
 		}
 		obj := c.info.Uses[e.Sel]
-		return obj != nil && c.idx.objs[obj]
+		if obj != nil && c.idx.objs[obj] {
+			return secretLabel
+		}
+		return 0
 	case *ast.SliceExpr:
-		return c.AliasesSecret(e.X)
+		return c.aliasLabelsOf(e.X)
 	case *ast.ParenExpr:
-		return c.AliasesSecret(e.X)
+		return c.aliasLabelsOf(e.X)
 	case *ast.StarExpr:
-		return c.AliasesSecret(e.X)
+		return c.aliasLabelsOf(e.X)
 	case *ast.UnaryExpr:
 		if e.Op == token.AND {
-			return c.AliasesSecret(e.X)
+			return c.aliasLabelsOf(e.X)
 		}
+	case *ast.CallExpr:
+		// A call aliases what its summary says the result aliases,
+		// instantiated with the arguments' own alias labels; everything
+		// else (builtins, externals) returns caller-owned memory.
+		sum, sig := c.calleeSummary(e)
+		if sum == nil {
+			return 0
+		}
+		var bits labelSet
+		for _, r := range sum.aliasResults {
+			bits |= c.instantiateWith(r, e, sig, c.aliasLabelsOf)
+		}
+		return bits
 	}
-	return false
+	return 0
 }
 
 // isSliceExpr reports whether e's type is a slice (the shape that can

@@ -1,0 +1,32 @@
+// Package interproc pins interprocedural constant-time checking: a secret
+// index that only hits a table inside an unannotated helper is still
+// reported at the call site that supplied the secret.
+package interproc
+
+var sbox [256]byte
+
+type box struct {
+	//secmemlint:secret — the secret byte driving the lookup
+	k byte
+}
+
+// pick and pickTwice are unannotated; their summaries carry the cttiming
+// sink fact (parameter used as a memory index) up the call chain.
+
+func pick(i byte) byte {
+	return sbox[i]
+}
+
+func pickTwice(i byte) byte {
+	return pick(pick(i))
+}
+
+func (b *box) leak() byte {
+	return pickTwice(b.k) // want "flows through pickTwice into a secret-indexed table lookup"
+}
+
+// publicLookup is the context-sensitivity negative: the same helper chain
+// with a public index is fine.
+func publicLookup(round int) byte {
+	return pickTwice(byte(round))
+}

@@ -1,0 +1,25 @@
+// Package core mimics a simulator-core package (the import path's final
+// segment is "core", so the globalmut deny-list applies, exactly as it
+// does to the real internal/core). Package-level mutable state here is
+// shared by every shard and tenant; only constants, error sentinels, and
+// the blank identifier may live at package scope.
+package core
+
+import "errors"
+
+// ErrStall is an error sentinel: assigned once at init, compared by
+// identity — the one package-level-var idiom the core packages keep.
+var ErrStall = errors.New("core: stall")
+
+// blockBytes is a constant: fine.
+const blockBytes = 64
+
+var _ = blockBytes // blank identifier: fine
+
+var hitCount int // want "package-level variable hitCount"
+
+var seen = map[uint64]bool{} // want "package-level variable seen"
+
+var (
+	defaultLatency uint64 = 40 // want "package-level variable defaultLatency"
+)

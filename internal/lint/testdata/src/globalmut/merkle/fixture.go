@@ -1,0 +1,19 @@
+// Package merkle mimics a second deny-listed core package whose only
+// package-level state is the allowed kind — proving the sentinel and
+// const exemptions hold inside the deny-list, not just outside it.
+package merkle
+
+import "errors"
+
+var ErrMismatch = errors.New("merkle: mismatch")
+
+const arity = 4
+
+// Fold is ordinary shard-safe code: all state is parameters and locals.
+func Fold(b []byte) byte {
+	var acc byte
+	for _, x := range b {
+		acc ^= x
+	}
+	return acc
+}

@@ -1,0 +1,48 @@
+// Package clean exercises the lockdiscipline negatives: deferred unlocks
+// (returns inside the section are fine), tight Lock/Unlock pairs, read
+// locks, and blocking operations performed after release.
+package clean
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// deferred releases on every path via defer; the early return is fine.
+func (s *shard) deferred() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.n > 0 {
+		return s.n
+	}
+	return 0
+}
+
+// tightPair brackets the write with an explicit pair and no exits inside.
+func (s *shard) tightPair(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+// sendOutside snapshots under the lock and blocks only after release.
+func (s *shard) sendOutside(ch chan int) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	ch <- n
+}
+
+// twoPhases reacquires for a second section; each pair is matched
+// independently.
+func (s *shard) twoPhases() int {
+	s.mu.Lock()
+	a := s.n
+	s.mu.Unlock()
+	s.mu.Lock()
+	b := s.n
+	s.mu.Unlock()
+	return a + b
+}

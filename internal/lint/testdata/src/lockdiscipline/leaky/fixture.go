@@ -1,0 +1,44 @@
+// Package leaky exercises the lockdiscipline analyzer's positive cases:
+// a Lock with no Unlock, an early return inside a non-deferred critical
+// section, and blocking operations performed while holding a lock.
+package leaky
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// neverReleases locks and forgets.
+func (s *shard) neverReleases() {
+	s.mu.Lock() // want "not released on every path"
+	s.n++
+}
+
+// leakOnEarlyReturn releases on the fall-through path but not on the
+// early return.
+func (s *shard) leakOnEarlyReturn(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 0 // want "leaks the lock on this path"
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// blocksWhileHolding performs a channel send inside the critical section.
+func (s *shard) blocksWhileHolding(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// waitsWhileHolding parks on a WaitGroup with the lock held.
+func (s *shard) waitsWhileHolding(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding s.mu"
+	s.mu.Unlock()
+}

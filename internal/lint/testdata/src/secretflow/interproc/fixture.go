@@ -1,0 +1,62 @@
+// Package interproc pins the tentpole capability of the summary engine:
+// a secret laundered through a chain of unannotated helpers still reaches
+// the sink report at the call site that injected it. Before the
+// interprocedural pass, every helper below would have needed its own
+// //secmemlint:secret annotation for the leak to be visible; now only the
+// true root (the vault.key field) is annotated and the flow is inferred.
+package interproc
+
+import "fmt"
+
+type vault struct {
+	//secmemlint:secret — the AES key under test; the one annotation in this file
+	key []byte
+}
+
+// hexify, wrap, and rewrap are deliberately unannotated. Their taint
+// behaviour is inferred: hexify's summary records a secretflow sink fact on
+// its parameter, wrap and rewrap record result <- param flows.
+
+func hexify(b []byte) string {
+	return fmt.Sprintf("%x", b)
+}
+
+func wrap(b []byte) []byte {
+	return b
+}
+
+func rewrap(b []byte) []byte {
+	return wrap(b)
+}
+
+// fill launders through an out-parameter: the summary records dst <- src.
+func fill(dst, src []byte) {
+	copy(dst, src)
+}
+
+// leakThreeDeep pushes the key through a three-deep unannotated chain
+// (rewrap -> wrap -> hexify -> fmt.Sprintf). The finding lands on the
+// argument that injects the secret.
+func (v *vault) leakThreeDeep() {
+	msg := hexify(rewrap(v.key)) // want "flows through hexify into fmt.Sprintf"
+	_ = msg
+}
+
+// leakOutParam launders through a helper's out-parameter: fill copies the
+// key into buf, so the later format call publishes secret bytes even
+// though no secret appears syntactically at the sink.
+func (v *vault) leakOutParam() string {
+	buf := make([]byte, 16)
+	fill(buf, v.key)
+	return fmt.Sprintf("%x", buf) // want "secret-derived value reaches fmt.Sprintf"
+}
+
+// publicUseIsClean exercises context sensitivity: the very same helpers
+// carry public data here, so the instantiated summaries are label-free and
+// nothing is reported.
+func (v *vault) publicUseIsClean() string {
+	public := []byte("region-label")
+	out := make([]byte, len(public))
+	fill(out, public)
+	return hexify(rewrap(out))
+}

@@ -1,0 +1,71 @@
+// Package clean exercises the sharedstate analyzer's negatives: properly
+// guarded access, partitioned slice-element writes (each worker owns its
+// index), channel hand-off, and sync/atomic state.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func parallelFor(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// guardedCounter holds a mutex around every access to the shared total.
+func guardedCounter() int {
+	total := 0
+	var mu sync.Mutex
+	parallelFor(8, func(i int) {
+		mu.Lock()
+		total += i
+		mu.Unlock()
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	return total
+}
+
+// partitioned writes disjoint slice elements from each worker — the
+// canonical shard pattern the analyzer must not flag.
+func partitioned() []int {
+	out := make([]int, 8)
+	parallelFor(8, func(i int) {
+		out[i] = i * i
+	})
+	return out
+}
+
+// atomicCounter uses sync/atomic state, which is exempt by type.
+func atomicCounter() int64 {
+	var total atomic.Int64
+	parallelFor(8, func(i int) {
+		total.Add(int64(i))
+	})
+	return total.Load()
+}
+
+// channelFanIn shares nothing: results travel over a channel.
+func channelFanIn() int {
+	ch := make(chan int, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			ch <- 1
+		}()
+	}
+	sum := 0
+	for w := 0; w < 4; w++ {
+		sum += <-ch
+	}
+	return sum
+}

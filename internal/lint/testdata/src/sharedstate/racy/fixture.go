@@ -1,0 +1,64 @@
+// Package racy exercises the sharedstate analyzer's positive cases: state
+// reached from more than one goroutine without a guarding mutex, both via
+// a direct go statement and via the harness's worker-pool idiom (a
+// function literal handed to a runner that invokes it on worker
+// goroutines).
+package racy
+
+import "sync"
+
+// parallelFor mimics the harness worker pool: fn runs on worker
+// goroutines, so every literal bound to fn is a concurrent body.
+func parallelFor(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// racyCounter accumulates into a captured local from worker goroutines
+// with no guard — the classic lost-update race.
+func racyCounter() int {
+	total := 0
+	parallelFor(8, func(i int) {
+		total += i // want "write to total"
+	})
+	return total
+}
+
+// racyMap writes map entries from a direct go-statement closure; map
+// writes are never element-exempt (concurrent map writes fault at
+// runtime).
+func racyMap() map[string]int {
+	m := make(map[string]int)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m["hits"] = 1 // want "write to m"
+	}()
+	wg.Wait()
+	return m
+}
+
+// racyRead: one goroutine writes, the other reads, neither holds a lock.
+func racyRead() int {
+	cursor := 0
+	done := make(chan struct{})
+	go func() {
+		cursor = 42 // want "write to cursor"
+		close(done)
+	}()
+	go func() {
+		_ = cursor + 1 // want "read of cursor"
+	}()
+	<-done
+	return 0
+}

@@ -129,7 +129,6 @@ func Sum20(data []byte) [Size]byte {
 // truncated hash matches what the comparator designs assumed, and the
 // simulator only relies on it detecting tampering, which it does.
 //
-//secmemlint:secret key
 func MAC(key []byte, addr, counter uint64, data []byte, macBits int) []byte {
 	d := New()
 	d.Write(key)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-bench lint-fix-audit fuzz-smoke bench bench-speed bench-compare trace-smoke ci
+.PHONY: all build test race vet lint lint-bench lint-fix-audit fuzz-smoke bench bench-speed bench-compare trace-smoke metrics-baseline metrics-compare serve-smoke ci
 
 all: build
 
@@ -58,19 +58,79 @@ TOL ?= 0.25
 bench-compare:
 	$(GO) run ./cmd/benchspeed -compare -tol $(TOL) $(OLD) $(NEW)
 
-# End-to-end observability smoke: run a tiny instrumented simulation, check
-# the metrics/trace artifact shape with secmemobs -validate, and confirm a
-# repeated run is byte-identical (determinism is part of the contract).
+# End-to-end observability smoke: run a tiny instrumented simulation with
+# time-series sampling, check the metrics/trace/timeseries artifact shape
+# with secmemobs -validate (including the sampled counter tracks the trace
+# must carry: monotone timestamps, value args, the named tracks present),
+# and confirm a repeated run is byte-identical (determinism is part of the
+# contract).
 SMOKE_DIR = /tmp/secmem-trace-smoke
+WANT_TRACKS = bus.util,ctl.fills,ctrcache.hitrate,dram.util,merkle.fetches
 trace-smoke:
 	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
-	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 \
-		-metrics $(SMOKE_DIR)/m1.json -trace $(SMOKE_DIR)/t1.json
-	$(GO) run ./cmd/secmemobs -metrics $(SMOKE_DIR)/m1.json -trace $(SMOKE_DIR)/t1.json -validate
-	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 \
-		-metrics $(SMOKE_DIR)/m2.json -trace $(SMOKE_DIR)/t2.json >/dev/null
+	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 -sample 1000 \
+		-metrics $(SMOKE_DIR)/m1.json -trace $(SMOKE_DIR)/t1.json \
+		-timeseries $(SMOKE_DIR)/ts1.json -timeseriescsv $(SMOKE_DIR)/ts1.csv
+	$(GO) run ./cmd/secmemobs -metrics $(SMOKE_DIR)/m1.json -trace $(SMOKE_DIR)/t1.json \
+		-validate -wanttracks $(WANT_TRACKS)
+	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 -sample 1000 \
+		-metrics $(SMOKE_DIR)/m2.json -trace $(SMOKE_DIR)/t2.json \
+		-timeseries $(SMOKE_DIR)/ts2.json -timeseriescsv $(SMOKE_DIR)/ts2.csv >/dev/null
 	cmp $(SMOKE_DIR)/m1.json $(SMOKE_DIR)/m2.json
 	cmp $(SMOKE_DIR)/t1.json $(SMOKE_DIR)/t2.json
-	@echo "trace-smoke: ok (valid shape, deterministic output)"
+	cmp $(SMOKE_DIR)/ts1.json $(SMOKE_DIR)/ts2.json
+	cmp $(SMOKE_DIR)/ts1.csv $(SMOKE_DIR)/ts2.csv
+	@echo "trace-smoke: ok (valid shape, counter tracks present, deterministic output)"
 
-ci: build vet lint test race fuzz-smoke trace-smoke
+# Metrics regression gate: BENCH_metrics.json is the committed observability
+# baseline for the canonical smoke run (swim, 200k instructions, default
+# scheme). metrics-compare reruns it and fails if any counter, gauge, or
+# histogram drifted beyond METRICS_TOL — the observability analogue of the
+# golden-output tests, catching silent instrumentation regressions.
+# Regenerate the baseline with metrics-baseline after a deliberate model or
+# instrumentation change, and say why in the commit message.
+METRICS_TOL ?= 0.02
+metrics-baseline:
+	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 -metrics BENCH_metrics.json >/dev/null
+	@echo "metrics-baseline: wrote BENCH_metrics.json"
+
+metrics-compare:
+	$(GO) run ./cmd/secmemsim -bench swim -instr 200000 -metrics $(SMOKE_DIR)-fresh.json >/dev/null
+	$(GO) run ./cmd/secmemobs -compare -tol $(METRICS_TOL) BENCH_metrics.json $(SMOKE_DIR)-fresh.json
+
+# Live-exposition smoke: serve a short run on an ephemeral port, scrape
+# /metrics mid-run (Prometheus text with secmem_ series), then fetch the
+# trace once the run completes. Exercises the publish-don't-share path end
+# to end over real HTTP.
+SERVE_DIR = /tmp/secmem-serve-smoke
+serve-smoke:
+	rm -rf $(SERVE_DIR) && mkdir -p $(SERVE_DIR)
+	$(GO) build -o $(SERVE_DIR)/secmemsim ./cmd/secmemsim
+	@set -e; \
+	$(SERVE_DIR)/secmemsim -bench swim -instr 500000 -sample 1000 \
+		-serve 127.0.0.1:0 -servefor 8s > $(SERVE_DIR)/out.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#^serving observability on http://\([^ ]*\) .*#\1#p' $(SERVE_DIR)/out.log); \
+		if [ -n "$$addr" ]; then break; fi; \
+		sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then echo "serve-smoke: server never announced its address"; cat $(SERVE_DIR)/out.log; exit 1; fi; \
+	curl -fsS "http://$$addr/metrics" > $(SERVE_DIR)/metrics.txt; \
+	grep -q '^secmem_' $(SERVE_DIR)/metrics.txt; \
+	curl -fsS "http://$$addr/timeseries.json" > $(SERVE_DIR)/ts.json; \
+	grep -q '"series"' $(SERVE_DIR)/ts.json; \
+	ok=""; \
+	for i in $$(seq 1 100); do \
+		if curl -fsS "http://$$addr/trace.json" > $(SERVE_DIR)/trace.json 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	if [ -z "$$ok" ]; then echo "serve-smoke: /trace.json never became available"; cat $(SERVE_DIR)/out.log; exit 1; fi; \
+	grep -q '"traceEvents"' $(SERVE_DIR)/trace.json; \
+	curl -fsS "http://$$addr/debug/pprof/cmdline" > /dev/null; \
+	kill $$pid 2>/dev/null || true; \
+	echo "serve-smoke: ok (live /metrics, /timeseries.json, /trace.json, pprof)"
+
+ci: build vet lint test race fuzz-smoke trace-smoke metrics-compare serve-smoke

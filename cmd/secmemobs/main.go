@@ -1,23 +1,28 @@
-// Command secmemobs renders and validates the observability artifacts that
-// secmemsim emits: the metrics registry JSON (-metrics) and the Chrome
-// trace-event timeline (-trace).
+// Command secmemobs renders, validates, and diffs the observability
+// artifacts that secmemsim emits: the metrics registry JSON (-metrics) and
+// the Chrome trace-event timeline (-trace).
 //
 // By default it prints plain-text tables: utilization/derived gauges,
-// counters, and latency histograms. With -validate it instead checks the
-// artifacts for the shape an instrumented protected run must have (nonzero
-// ctrcache.*, merkle.*, and aes.* series; a loadable trace with overlapped
-// Merkle-level work) and exits non-zero on violation — CI's trace-smoke
-// target runs this.
+// counters, latency histograms with interpolated percentiles, and per-track
+// trace summaries. With -validate it instead checks the artifacts for the
+// shape an instrumented protected run must have (nonzero ctrcache.*,
+// merkle.*, and aes.* series; a loadable trace with overlapped Merkle-level
+// work, monotone counter tracks, and no dropped events) and exits non-zero
+// on violation — CI's trace-smoke target runs this. With -compare it diffs
+// two metrics snapshots as a regression gate and exits non-zero when any
+// series moved by more than -tol.
 //
-//	secmemsim -bench swim -metrics m.json -trace t.json
+//	secmemsim -bench swim -metrics m.json -trace t.json -sample 1000
 //	secmemobs -metrics m.json -trace t.json
-//	secmemobs -metrics m.json -trace t.json -validate
+//	secmemobs -metrics m.json -trace t.json -validate -wanttracks bus.util,dram.util
+//	secmemobs -compare -tol 0.05 BENCH_metrics.json fresh.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -28,25 +33,50 @@ import (
 
 func main() {
 	var (
-		metrics  = flag.String("metrics", "", "metrics registry JSON written by secmemsim -metrics")
-		trace    = flag.String("trace", "", "Chrome trace-event JSON written by secmemsim -trace")
-		validate = flag.Bool("validate", false, "validate artifact shape instead of rendering tables")
+		metrics    = flag.String("metrics", "", "metrics registry JSON written by secmemsim -metrics")
+		trace      = flag.String("trace", "", "Chrome trace-event JSON written by secmemsim -trace")
+		validate   = flag.Bool("validate", false, "validate artifact shape instead of rendering tables")
+		wantTracks = flag.String("wanttracks", "", "comma-separated counter tracks that -validate requires in the trace")
+		compare    = flag.Bool("compare", false, "regression gate: diff two metrics JSON files (old new) given as arguments")
+		tol        = flag.Float64("tol", 0.05, "with -compare: maximum relative drift per series before failing")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two arguments: old.json new.json (got %d)", flag.NArg())
+		}
+		old := loadSnapshot(flag.Arg(0))
+		cur := loadSnapshot(flag.Arg(1))
+		viols := compareSnapshots(old, cur, *tol)
+		if len(viols) > 0 {
+			for _, v := range viols {
+				fmt.Fprintf(os.Stderr, "secmemobs: REGRESSION: %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "secmemobs: %d series drifted beyond tol=%.3g between %s and %s\n",
+				len(viols), *tol, flag.Arg(0), flag.Arg(1))
+			os.Exit(1)
+		}
+		fmt.Printf("secmemobs: metrics match within tol=%.3g (%d counters, %d gauges, %d histograms)\n",
+			*tol, len(cur.Counters), len(cur.Gauges), len(cur.Histograms))
+		return
+	}
+
 	if *metrics == "" {
 		fatalf("-metrics is required")
 	}
 
 	snap := loadSnapshot(*metrics)
 	var events []traceEvent
+	var dropped uint64
 	if *trace != "" {
-		events = loadTrace(*trace)
+		events, dropped = loadTrace(*trace)
 	}
 
 	if *validate {
 		errs := validateSnapshot(snap)
 		if *trace != "" {
-			errs = append(errs, validateTrace(events)...)
+			errs = append(errs, validateTrace(events, dropped, splitTracks(*wantTracks))...)
 		}
 		if len(errs) > 0 {
 			for _, e := range errs {
@@ -66,6 +96,17 @@ func main() {
 	render(snap, events)
 }
 
+// splitTracks parses the -wanttracks list, dropping empty entries.
+func splitTracks(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // loadSnapshot parses a registry snapshot JSON file.
 func loadSnapshot(path string) obsv.Snapshot {
 	b, err := os.ReadFile(path)
@@ -80,32 +121,40 @@ func loadSnapshot(path string) obsv.Snapshot {
 }
 
 // traceEvent is the subset of the Chrome trace-event wire format the
-// validator and renderer need. Cat carries the track name.
+// validator and renderer need. Cat carries the track name; counter ("C")
+// events carry their value in Args.
 type traceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Ts   uint64  `json:"ts"`
-	Dur  *uint64 `json:"dur"`
-	ID   string  `json:"id"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur"`
+	ID   string         `json:"id"`
+	Args map[string]any `json:"args"`
 }
 
-func loadTrace(path string) []traceEvent {
+// loadTrace parses the trace file, returning its events and the recorder's
+// dropped-event count from otherData.
+func loadTrace(path string) ([]traceEvent, uint64) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	var tf struct {
 		TraceEvents []traceEvent `json:"traceEvents"`
+		OtherData   struct {
+			DroppedEvents uint64 `json:"droppedEvents"`
+		} `json:"otherData"`
 	}
 	if err := json.Unmarshal(b, &tf); err != nil {
 		fatalf("parsing %s: %v", path, err)
 	}
-	return tf.TraceEvents
+	return tf.TraceEvents, tf.OtherData.DroppedEvents
 }
 
 // validateSnapshot checks that the protected-run metric series an
-// instrumented simulation must produce are present and nonzero.
+// instrumented simulation must produce are present and nonzero, and that
+// the run's trace recorder (if any) reported no dropped events.
 func validateSnapshot(snap obsv.Snapshot) []string {
 	var errs []string
 	for _, prefix := range []string{"ctrcache.", "merkle.", "aes."} {
@@ -120,17 +169,39 @@ func validateSnapshot(snap obsv.Snapshot) []string {
 			errs = append(errs, fmt.Sprintf("no nonzero %s* counter in metrics", prefix))
 		}
 	}
+	if d, ok := snap.Gauges["trace.dropped"]; ok && d > 0 {
+		errs = append(errs, fmt.Sprintf("trace recorder dropped %.0f events (metrics gauge trace.dropped); raise -tracelimit", d))
+	}
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		if math.IsNaN(h.Mean()) || math.IsNaN(h.P50) || math.IsNaN(h.P95) || math.IsNaN(h.P99) {
+			errs = append(errs, fmt.Sprintf("histogram %s has NaN summary statistics", name))
+		}
+		if h.P50 > h.P95 || h.P95 > h.P99 {
+			errs = append(errs, fmt.Sprintf("histogram %s percentiles not monotone: p50=%g p95=%g p99=%g",
+				name, h.P50, h.P95, h.P99))
+		}
+	}
 	return errs
 }
 
 // validateTrace checks that the timeline is non-trivial, that every async
 // range opened by a 'b' event is closed by a matching 'e' event (same
 // cat/name/id, end ts >= begin ts — otherwise Perfetto renders the range at
-// a bogus time or never closes it), and that it shows at least one pair of
+// a bogus time or never closes it), that it shows at least one pair of
 // overlapping spans on different Merkle levels — the parallel level
-// authentication the trace exists to make visible.
-func validateTrace(events []traceEvent) []string {
+// authentication the trace exists to make visible — and that the counter
+// tracks the sampler merged in are well-formed: each track's timestamps
+// monotone non-decreasing, every sample carrying a numeric value, and every
+// track named in want present. A nonzero dropped count is a failure: a
+// truncated trace must not validate as complete.
+func validateTrace(events []traceEvent, dropped uint64, want []string) []string {
 	var errs []string
+	if dropped > 0 {
+		errs = append(errs, fmt.Sprintf("trace dropped %d events at the recorder cap; raise -tracelimit", dropped))
+	}
 	var complete, txns int
 	type span struct {
 		track  string
@@ -139,6 +210,10 @@ func validateTrace(events []traceEvent) []string {
 	var merkle []span
 	type rangeKey struct{ cat, name, id string }
 	open := map[rangeKey]uint64{}
+	lastTs := map[string]uint64{}    // counter track -> last seen ts
+	counterN := map[string]int{}     // counter track -> samples
+	badValue := map[string]bool{}    // counter track -> missing/mistyped value arg
+	nonMonotone := map[string]bool{} // counter track -> ts went backwards
 	for _, e := range events {
 		switch e.Ph {
 		case "X":
@@ -168,6 +243,17 @@ func validateTrace(events []traceEvent) []string {
 					e.Cat, e.Name, e.ID, e.Ts, begin))
 			}
 			delete(open, k)
+		case "C":
+			if last, seen := lastTs[e.Name]; seen && e.Ts < last {
+				nonMonotone[e.Name] = true
+			}
+			lastTs[e.Name] = e.Ts
+			counterN[e.Name]++
+			if v, ok := e.Args["value"]; !ok {
+				badValue[e.Name] = true
+			} else if _, isNum := v.(float64); !isNum {
+				badValue[e.Name] = true
+			}
 		}
 	}
 	var unclosed []string
@@ -181,6 +267,17 @@ func validateTrace(events []traceEvent) []string {
 	}
 	if txns == 0 {
 		errs = append(errs, "trace has no transaction ('b') events")
+	}
+	for _, name := range sortedKeys(nonMonotone) {
+		errs = append(errs, fmt.Sprintf("counter track %s has non-monotone timestamps", name))
+	}
+	for _, name := range sortedKeys(badValue) {
+		errs = append(errs, fmt.Sprintf("counter track %s has samples without a numeric value arg", name))
+	}
+	for _, name := range want {
+		if counterN[name] == 0 {
+			errs = append(errs, fmt.Sprintf("required counter track %s absent from trace (did the run pass -sample?)", name))
+		}
 	}
 	overlap := false
 	for i := 0; i < len(merkle) && !overlap; i++ {
@@ -196,6 +293,78 @@ func validateTrace(events []traceEvent) []string {
 		errs = append(errs, "no overlapping spans on distinct merkle levels (expected with parallel authentication)")
 	}
 	return errs
+}
+
+// relDrift is |new-old| normalized by |old| (or by 1 when old is ~zero, so
+// series appearing from zero register as absolute drift).
+func relDrift(old, cur float64) float64 {
+	d := math.Abs(cur - old)
+	base := math.Abs(old)
+	if base < 1 {
+		base = 1
+	}
+	return d / base
+}
+
+// compareSnapshots diffs two metrics snapshots as a regression gate:
+// counters and gauges must agree within tol relative drift, histograms must
+// agree in count and sum, and both files must expose the same series set —
+// a vanished or new series is a violation regardless of tolerance, because
+// it means the instrumentation itself changed. Violations are sorted.
+func compareSnapshots(old, cur obsv.Snapshot, tol float64) []string {
+	var viols []string
+	for _, name := range sortedKeys(old.Counters) {
+		ov := old.Counters[name]
+		nv, ok := cur.Counters[name]
+		if !ok {
+			viols = append(viols, fmt.Sprintf("counter %s missing from new snapshot (was %d)", name, ov))
+			continue
+		}
+		if d := relDrift(float64(ov), float64(nv)); d > tol {
+			viols = append(viols, fmt.Sprintf("counter %s drifted %.3g (old %d, new %d)", name, d, ov, nv))
+		}
+	}
+	for _, name := range sortedKeys(cur.Counters) {
+		if _, ok := old.Counters[name]; !ok {
+			viols = append(viols, fmt.Sprintf("counter %s new in snapshot (%d); regenerate the baseline", name, cur.Counters[name]))
+		}
+	}
+	for _, name := range sortedKeys(old.Gauges) {
+		ov := old.Gauges[name]
+		nv, ok := cur.Gauges[name]
+		if !ok {
+			viols = append(viols, fmt.Sprintf("gauge %s missing from new snapshot (was %g)", name, ov))
+			continue
+		}
+		if d := relDrift(ov, nv); d > tol {
+			viols = append(viols, fmt.Sprintf("gauge %s drifted %.3g (old %g, new %g)", name, d, ov, nv))
+		}
+	}
+	for _, name := range sortedKeys(cur.Gauges) {
+		if _, ok := old.Gauges[name]; !ok {
+			viols = append(viols, fmt.Sprintf("gauge %s new in snapshot (%g); regenerate the baseline", name, cur.Gauges[name]))
+		}
+	}
+	for _, name := range sortedKeys(old.Histograms) {
+		oh := old.Histograms[name]
+		nh, ok := cur.Histograms[name]
+		if !ok {
+			viols = append(viols, fmt.Sprintf("histogram %s missing from new snapshot", name))
+			continue
+		}
+		if d := relDrift(float64(oh.Count), float64(nh.Count)); d > tol {
+			viols = append(viols, fmt.Sprintf("histogram %s count drifted %.3g (old %d, new %d)", name, d, oh.Count, nh.Count))
+		}
+		if d := relDrift(float64(oh.Sum), float64(nh.Sum)); d > tol {
+			viols = append(viols, fmt.Sprintf("histogram %s sum drifted %.3g (old %d, new %d)", name, d, oh.Sum, nh.Sum))
+		}
+	}
+	for _, name := range sortedKeys(cur.Histograms) {
+		if _, ok := old.Histograms[name]; !ok {
+			viols = append(viols, fmt.Sprintf("histogram %s new in snapshot; regenerate the baseline", name))
+		}
+	}
+	return viols
 }
 
 // render prints the snapshot (and trace summary) as plain-text tables.
@@ -225,17 +394,19 @@ func render(snap obsv.Snapshot, events []traceEvent) {
 	if len(snap.Histograms) > 0 {
 		tbl := stats.Table{
 			Title: "Latency histograms (cycles)",
-			Cols:  []string{"histogram", "count", "mean", "min", "max"},
+			Cols:  []string{"histogram", "count", "mean", "p50", "p95", "p99", "min", "max"},
 		}
 		for _, name := range sortedKeys(snap.Histograms) {
 			h := snap.Histograms[name]
-			mean := 0.0
-			if h.Count > 0 {
-				mean = float64(h.Sum) / float64(h.Count)
-			}
+			// Percentiles are recomputed from the buckets rather than read
+			// from the p50/p95/p99 fields, so tables render correctly for
+			// metrics files written before those fields existed.
 			tbl.AddRow(name,
 				fmt.Sprintf("%d", h.Count),
-				fmt.Sprintf("%.1f", mean),
+				fmt.Sprintf("%.1f", h.Mean()),
+				fmt.Sprintf("%.1f", h.Quantile(0.50)),
+				fmt.Sprintf("%.1f", h.Quantile(0.95)),
+				fmt.Sprintf("%.1f", h.Quantile(0.99)),
 				fmt.Sprintf("%d", h.Min),
 				fmt.Sprintf("%d", h.Max))
 		}
@@ -244,8 +415,17 @@ func render(snap obsv.Snapshot, events []traceEvent) {
 	}
 	if len(events) > 0 {
 		perTrack := map[string]int{}
+		counters := map[string]int{}
+		counterLast := map[string]float64{}
 		for _, e := range events {
-			if e.Ph != "M" {
+			switch e.Ph {
+			case "M":
+			case "C":
+				counters[e.Name]++
+				if v, ok := e.Args["value"].(float64); ok {
+					counterLast[e.Name] = v
+				}
+			default:
 				perTrack[e.Cat]++
 			}
 		}
@@ -257,6 +437,18 @@ func render(snap obsv.Snapshot, events []traceEvent) {
 			tbl.AddRow(name, fmt.Sprintf("%d", perTrack[name]))
 		}
 		fmt.Print(tbl.String())
+		if len(counters) > 0 {
+			fmt.Println()
+			ctbl := stats.Table{
+				Title: "Counter tracks (sampled time-series)",
+				Cols:  []string{"track", "samples", "last value"},
+			}
+			for _, name := range sortedKeys(counters) {
+				ctbl.AddRow(name, fmt.Sprintf("%d", counters[name]),
+					fmt.Sprintf("%g", counterLast[name]))
+			}
+			fmt.Print(ctbl.String())
+		}
 	}
 }
 

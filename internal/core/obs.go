@@ -68,6 +68,36 @@ func (c *Controller) noteMerkleNode(mac uint64, issueAt, arrive, done sim.Time) 
 	}
 }
 
+// RegisterProbes wires the controller's dynamic state into a time-series
+// sampler: the trajectories behind the paper's figures (counter-cache hit
+// rate over time, RSR occupancy, bus/DRAM utilization, Merkle verify
+// traffic, re-encryption and tamper progress) rather than their end-of-run
+// averages. Probes only read state owned by the simulation goroutine and
+// never allocate. No-op on a nil sampler.
+func (c *Controller) RegisterProbes(s *obsv.Sampler) {
+	if s == nil {
+		return
+	}
+	s.Series("bus.util", func(cycle uint64) float64 {
+		return c.bus.Utilization(sim.Time(cycle))
+	})
+	s.Series("dram.util", func(cycle uint64) float64 {
+		return c.mem.Utilization(sim.Time(cycle))
+	})
+	s.Series("ctl.fills", func(uint64) float64 { return float64(c.Stats.Fills) })
+	s.Series("merkle.fetches", func(uint64) float64 { return float64(c.Stats.MacFetches) })
+	s.Series("ctl.tampers", func(uint64) float64 { return float64(c.Stats.TamperDetected) })
+	if c.ctrs != nil {
+		s.Series("ctrcache.hitrate", func(uint64) float64 { return c.ctrs.Stats.HitRate() })
+	}
+	if c.rsrs != nil {
+		s.Series("rsr.occupancy", func(cycle uint64) float64 {
+			return float64(c.rsrs.BusyCount(sim.Time(cycle)))
+		})
+		s.Series("rsr.pagereencs", func(uint64) float64 { return float64(c.rsrs.Stats.PageReencs) })
+	}
+}
+
 // ExportObs writes end-of-run derived metrics (utilizations, hit rates)
 // into the registry as gauges. end is the run's final cycle. No-op when the
 // controller was never instrumented.
@@ -91,6 +121,11 @@ func (c *Controller) ExportObs(end sim.Time) {
 	if c.macCache != nil {
 		c.reg.SetGauge("maccache.hitrate", c.macCache.Stats.HitRate())
 	}
+	if c.rec != nil {
+		// Surface trace truncation in the metrics snapshot so a capped
+		// recorder is visible even when only the metrics file is kept.
+		c.reg.SetGauge("trace.dropped", float64(c.rec.Dropped()))
+	}
 }
 
 // Instrument wires the whole hierarchy (L1, L2, controller and its
@@ -100,6 +135,19 @@ func (m *MemSystem) Instrument(reg *obsv.Registry, rec *obsv.Recorder) {
 	m.l1.Instrument(reg, "l1")
 	m.l2.Instrument(reg, "l2")
 	m.ctl.Instrument(reg, rec)
+}
+
+// AttachSampler hooks a time-series sampler into the access path and
+// registers the controller's probes with it. Sampling is timing-neutral:
+// the hook only reads counters at sample boundaries and never touches the
+// resource timelines, so an attached sampler changes no simulated number.
+// No-op on a nil sampler.
+func (m *MemSystem) AttachSampler(s *obsv.Sampler) {
+	if s == nil {
+		return
+	}
+	m.smp = s
+	m.ctl.RegisterProbes(s)
 }
 
 // ExportObs writes end-of-run derived metrics for the hierarchy and the

@@ -11,6 +11,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"secmem/internal/config"
@@ -154,11 +155,15 @@ func New(opt Options) *Runner {
 	return &Runner{Opt: opt, baselines: make(map[string]float64)}
 }
 
-// Obs bundles the observability sinks of an instrumented run. Either field
-// may be nil; the zero Obs means "uninstrumented".
+// Obs bundles the observability sinks of an instrumented run. Any field
+// may be nil; the zero Obs means "uninstrumented". Smp attaches a cycle-
+// driven time-series sampler; when both Smp and Rec are set, the sampled
+// trajectories are merged into the trace as Perfetto counter tracks after
+// the run.
 type Obs struct {
 	Reg *obsv.Registry
 	Rec *obsv.Recorder
+	Smp *obsv.Sampler
 }
 
 // Run simulates one (benchmark, configuration) pair.
@@ -182,9 +187,19 @@ func (r *Runner) RunObserved(bench string, cfg config.SystemConfig, obs Obs) Run
 	if obs.Reg != nil || obs.Rec != nil {
 		mem.Instrument(obs.Reg, obs.Rec)
 	}
+	if obs.Smp != nil {
+		mem.AttachSampler(obs.Smp)
+	}
 	gen := trace.NewGenerator(trace.Get(bench), r.Opt.Seed)
 	c := cpu.New(cfg, mem)
 	res := c.Run(gen, r.Opt.Instructions)
+	if obs.Smp != nil {
+		// Close the series at the run's final cycle, then merge the
+		// trajectories into the trace as counter tracks (before ExportObs
+		// so the trace.dropped gauge counts these events too).
+		obs.Smp.SampleAt(uint64(res.Cycles))
+		obs.Smp.EmitTrace(obs.Rec)
+	}
 	if obs.Reg != nil {
 		mem.ExportObs(res.Cycles)
 	}
@@ -220,6 +235,11 @@ func (r *Runner) RunObserved(bench string, cfg config.SystemConfig, obs Obs) Run
 		for _, v := range pageFastest {
 			out.PageFastestIncrs = append(out.PageFastestIncrs, v)
 		}
+		// Map iteration order would leak into the RunOut otherwise; sorted,
+		// identical runs compare DeepEqual and goldens stay byte-stable.
+		sort.Slice(out.PageFastestIncrs, func(i, j int) bool {
+			return out.PageFastestIncrs[i] < out.PageFastestIncrs[j]
+		})
 	}
 	if rsrs := mem.Controller().RSRs(); rsrs != nil {
 		out.RSR = rsrs.Stats
@@ -228,6 +248,23 @@ func (r *Runner) RunObserved(bench string, cfg config.SystemConfig, obs Obs) Run
 	out.BusWait = mem.Controller().Bus().QueueDelay()
 	out.AESIssues = mem.Controller().AES().Issues()
 	return out
+}
+
+// CampaignObserved runs every benchmark in the campaign against cfg in
+// parallel, each worker recording into its own shard of a sharded
+// registry, and returns the per-benchmark results in campaign order plus
+// the deterministic name-sorted merge of all shards. This is the
+// contention-free instrumentation pattern the parallel sim core and the
+// secmemd shards use: no registry is ever touched by two goroutines, and
+// the merged snapshot is independent of scheduling.
+func (r *Runner) CampaignObserved(cfg config.SystemConfig) ([]RunOut, *obsv.Registry) {
+	benches := r.Opt.benches()
+	sh := obsv.NewSharded(len(benches))
+	outs := make([]RunOut, len(benches))
+	r.parallelFor(len(benches), func(i int) {
+		outs[i] = r.RunObserved(benches[i], cfg, Obs{Reg: sh.Shard(i)})
+	})
+	return outs, sh.Merge()
 }
 
 // Baseline returns the unprotected-machine IPC for a benchmark, cached.

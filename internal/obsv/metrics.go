@@ -98,8 +98,16 @@ func BucketIndex(v uint64) int {
 }
 
 // BucketBound returns the exclusive upper bound of bucket i, with the last
-// bucket unbounded (reported as 0 in snapshots, meaning "+inf").
+// bucket unbounded (reported as 0 in snapshots, meaning "+inf") and
+// out-of-range indices clamped to the nearest bucket. BucketBound and
+// BucketIndex round-trip across the whole uint64 range: for every bounded
+// bucket i, BucketIndex(BucketBound(i)) == i+1 and
+// BucketIndex(BucketBound(i)-1) <= i, including the 2^31 edge where the
+// bounded range meets the unbounded tail bucket.
 func BucketBound(i int) uint64 {
+	if i < 0 {
+		i = 0
+	}
 	if i >= HistBuckets-1 {
 		return 0
 	}
@@ -237,13 +245,81 @@ type BucketCount struct {
 	N  uint64 `json:"n"`
 }
 
-// HistSnapshot is a histogram's exported state.
+// HistSnapshot is a histogram's exported state. P50/P95/P99 are quantiles
+// interpolated from the power-of-two buckets (see Quantile for the error
+// bound); they are derived from Buckets at snapshot time and carried in
+// the JSON so downstream tables need no recomputation.
 type HistSnapshot struct {
 	Count   uint64        `json:"count"`
 	Sum     uint64        `json:"sum"`
 	Min     uint64        `json:"min"`
 	Max     uint64        `json:"max"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
 	Buckets []BucketCount `json:"buckets"`
+}
+
+// Mean is the average observation, or 0 (never NaN) when the snapshot is
+// empty.
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile interpolates the q-th quantile (q in [0,1]) from the power-of-
+// two buckets, assuming observations are uniformly distributed within each
+// bucket. The result is exact at bucket boundaries and otherwise off by at
+// most a factor of two (one bucket's width: the true value and the
+// estimate share a [2^(i-1), 2^i) bucket); the interpolated value is
+// clamped to the observed [Min, Max] so the tails never exceed reality.
+// Returns 0 on an empty snapshot.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.Min)
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for _, b := range h.Buckets {
+		n := float64(b.N)
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		// The quantile lands in this bucket: interpolate between its
+		// bounds. Le == 0 marks the unbounded tail bucket, whose effective
+		// upper bound is the observed Max.
+		var lo, hi float64
+		switch {
+		case b.Le == 0:
+			lo = float64(uint64(1) << uint(HistBuckets-2))
+			hi = float64(h.Max)
+		case b.Le == 1:
+			lo, hi = 0, 1 // the zero bucket holds only the value 0
+		default:
+			lo, hi = float64(b.Le)/2, float64(b.Le)
+		}
+		v := lo
+		if n > 0 {
+			v = lo + (rank-cum)/n*(hi-lo)
+		}
+		if v < float64(h.Min) {
+			v = float64(h.Min)
+		}
+		if v > float64(h.Max) {
+			v = float64(h.Max)
+		}
+		return v
+	}
+	return float64(h.Max)
 }
 
 // Snapshot is the registry's full exported state. Maps serialize with
@@ -279,6 +355,9 @@ func (r *Registry) Snapshot() Snapshot {
 				hs.Buckets = append(hs.Buckets, BucketCount{Le: BucketBound(i), N: n})
 			}
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P95 = hs.Quantile(0.95)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms[name] = hs
 	}
 	return s
@@ -297,10 +376,41 @@ func (r *Registry) CounterNames() []string {
 	return names
 }
 
-// WriteJSON writes the snapshot as indented JSON. Identical runs produce
-// byte-identical output.
+// GaugeNames returns the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. Identical runs
+// produce byte-identical output.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,89 @@
+package obsv
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promNamespace prefixes every exposed metric so secmem series are
+// unambiguous when scraped next to other jobs.
+const promNamespace = "secmem"
+
+// promName maps a registry name ("ctrcache.hit") to a Prometheus metric
+// name ("secmem_ctrcache_hit"). The registry grammar ([a-z0-9_.]) maps
+// cleanly: dots become underscores, nothing else needs escaping.
+func promName(name string) string {
+	return promNamespace + "_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4, the format every scraper accepts):
+//
+//   - counters expose as "<name>_total" with TYPE counter;
+//   - gauges expose as "<name>" with TYPE gauge;
+//   - histograms expose the full conventional triple — cumulative
+//     "<name>_bucket{le="..."}" series over the power-of-two bounds plus
+//     the closing le="+Inf", "<name>_sum", and "<name>_count" — so
+//     PromQL's histogram_quantile works unchanged on the scraped series.
+//
+// Output is sorted by metric name and byte-deterministic for identical
+// snapshots, like every other exporter in this package.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		bw.WriteString("# TYPE " + pn + " counter\n")
+		bw.WriteString(pn + " " + strconv.FormatUint(s.Counters[n], 10) + "\n")
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + " " + strconv.FormatFloat(s.Gauges[n], 'g', -1, 64) + "\n")
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		bw.WriteString("# TYPE " + pn + " histogram\n")
+		// The snapshot stores per-bucket counts sparsely; Prometheus wants
+		// cumulative counts over the ordered bounds. Snapshot buckets are
+		// already in bound order with the unbounded tail (Le == 0) last.
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.N
+			le := "+Inf"
+			if b.Le != 0 {
+				le = strconv.FormatUint(b.Le, 10)
+			}
+			bw.WriteString(pn + `_bucket{le="` + le + `"} ` + strconv.FormatUint(cum, 10) + "\n")
+		}
+		if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].Le != 0 {
+			// No observation reached the tail bucket; close the series so
+			// histogram_quantile always sees a +Inf bound.
+			bw.WriteString(pn + `_bucket{le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
+		}
+		bw.WriteString(pn + "_sum " + strconv.FormatUint(h.Sum, 10) + "\n")
+		bw.WriteString(pn + "_count " + strconv.FormatUint(h.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}

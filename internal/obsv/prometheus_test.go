@@ -1,0 +1,96 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ctl.fill").Add(42)
+	r.SetGauge("bus.util", 0.375)
+	h := r.Histogram("ctl.read.cycles")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE secmem_ctl_fill_total counter\n",
+		"secmem_ctl_fill_total 42\n",
+		"# TYPE secmem_bus_util gauge\n",
+		"secmem_bus_util 0.375\n",
+		"# TYPE secmem_ctl_read_cycles histogram\n",
+		"secmem_ctl_read_cycles_sum 506\n",
+		"secmem_ctl_read_cycles_count 4\n",
+		`secmem_ctl_read_cycles_bucket{le="+Inf"} 4` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative: the zero bucket holds 1, [2,4) adds 2,
+	// and the 500 observation lands in [256,512) bringing the total to 4.
+	if !strings.Contains(out, `secmem_ctl_read_cycles_bucket{le="1"} 1`+"\n") {
+		t.Errorf("zero bucket not cumulative:\n%s", out)
+	}
+	if !strings.Contains(out, `secmem_ctl_read_cycles_bucket{le="4"} 3`+"\n") {
+		t.Errorf("[2,4) bucket not cumulative:\n%s", out)
+	}
+	if !strings.Contains(out, `secmem_ctl_read_cycles_bucket{le="512"} 4`+"\n") {
+		t.Errorf("[256,512) bucket not cumulative:\n%s", out)
+	}
+}
+
+func TestPrometheusDeterministicAndSorted(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for i, n := range order {
+			r.Counter(n).Add(uint64(i + 1))
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	// Same values, different registration order: identical bytes. The
+	// counters are registered with order-dependent values mapped by name so
+	// both runs agree on value per name.
+	a := build([]string{"a.one", "b.two", "c.three"})
+	r := NewRegistry()
+	r.Counter("c.three").Add(3)
+	r.Counter("a.one").Add(1)
+	r.Counter("b.two").Add(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if a != buf.String() {
+		t.Errorf("exposition depends on registration order:\n%s\nvs\n%s", a, buf.String())
+	}
+	if strings.Index(a, "secmem_a_one") > strings.Index(a, "secmem_b_two") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestPrometheusEmptyHistogramCloses(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("never.observed")
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `secmem_never_observed_bucket{le="+Inf"} 0`+"\n") {
+		t.Errorf("empty histogram has no +Inf bucket:\n%s", out)
+	}
+}

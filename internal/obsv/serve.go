@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Server is the live exposition endpoint: an http.Handler that serves the
+// observability artifacts of a running simulation without ever touching
+// the simulation goroutine's mutable state. It is the first network-facing
+// step toward the secmemd service in the ROADMAP.
+//
+// The safety model is publish-don't-share. The simulation goroutine owns
+// its Registry and Recorder (both deliberately unsynchronized); at each
+// sample boundary it builds an immutable Snapshot and hands it over via an
+// atomic pointer, and when the run finishes it hands over the rendered
+// trace bytes the same way. HTTP goroutines only ever read published
+// immutable values — the one mutable structure they touch is the Sampler
+// ring, which carries its own mutex for exactly this reason.
+//
+// Routes:
+//
+//	/metrics          Prometheus text exposition of the latest snapshot
+//	/metrics.json     the same snapshot as registry JSON
+//	/timeseries.json  the sampler ring (sorted series, oldest first)
+//	/timeseries.csv   the same ring as CSV
+//	/trace.json       the Chrome trace (503 until the run completes)
+//	/debug/pprof/*    the standard Go profiling endpoints
+type Server struct {
+	mux  *http.ServeMux
+	smp  *Sampler // may be nil: /timeseries.* then serve an empty ring
+	snap atomic.Pointer[Snapshot]
+	trc  atomic.Pointer[[]byte]
+}
+
+// NewServer builds a server over an optional sampler. Publish at least one
+// snapshot before exposing the address, so /metrics never 503s.
+func NewServer(smp *Sampler) *Server {
+	s := &Server{mux: http.NewServeMux(), smp: smp}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/timeseries.json", s.handleTimeseriesJSON)
+	s.mux.HandleFunc("/timeseries.csv", s.handleTimeseriesCSV)
+	s.mux.HandleFunc("/trace.json", s.handleTrace)
+	// Register the pprof handlers explicitly on our mux rather than
+	// importing the package for its DefaultServeMux side effect: the
+	// server stays usable inside other processes (secmemd) without
+	// polluting the global mux.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Publish makes snap the state served by /metrics and /metrics.json. The
+// caller must not mutate snap afterwards; build it fresh per publish
+// (Registry.Snapshot always does).
+func (s *Server) Publish(snap Snapshot) {
+	s.snap.Store(&snap)
+}
+
+// PublishTrace makes the rendered Chrome-trace bytes available at
+// /trace.json. Call once, after the run completes; the caller must not
+// mutate b afterwards.
+func (s *Server) PublishTrace(b []byte) {
+	s.trc.Store(&b)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) latest() Snapshot {
+	if p := s.snap.Load(); p != nil {
+		return *p
+	}
+	// Nothing published yet: serve the empty (but well-formed) snapshot.
+	return Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(`<html><head><title>secmem observability</title></head><body>
+<h1>secmem observability</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/metrics.json">/metrics.json</a> — registry snapshot JSON</li>
+<li><a href="/timeseries.json">/timeseries.json</a> — sampled metric trajectories</li>
+<li><a href="/timeseries.csv">/timeseries.csv</a> — the same as CSV</li>
+<li><a href="/trace.json">/trace.json</a> — Chrome/Perfetto trace (after the run)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiling</li>
+</ul></body></html>
+`))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.latest().WritePrometheus(w); err != nil {
+		// Headers are gone; nothing useful left to do but drop the conn.
+		return
+	}
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.latest().WriteJSON(w) //nolint:errcheck // best effort once streaming
+}
+
+func (s *Server) handleTimeseriesJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.smp.WriteJSON(w) //nolint:errcheck // best effort once streaming
+}
+
+func (s *Server) handleTimeseriesCSV(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	s.smp.WriteCSV(w) //nolint:errcheck // best effort once streaming
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	p := s.trc.Load()
+	if p == nil {
+		http.Error(w, "trace not available until the run completes", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(*p)
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *Server, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	res := w.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(body)
+}
+
+func TestServerRoutes(t *testing.T) {
+	smp := NewSampler(100, 0)
+	smp.Series("bus.util", func(cycle uint64) float64 { return float64(cycle) / 1000 })
+	smp.Tick(300)
+
+	srv := NewServer(smp)
+
+	// Before any Publish, /metrics serves the empty snapshot, not an error.
+	if code, body := get(t, srv, "/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics before publish: code %d body %q", code, body)
+	}
+
+	reg := NewRegistry()
+	reg.Counter("ctl.fill").Add(7)
+	reg.SetGauge("bus.util", 0.5)
+	srv.Publish(reg.Snapshot())
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics code %d", code)
+	}
+	for _, want := range []string{"secmem_ctl_fill_total 7\n", "secmem_bus_util 0.5\n"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics.json")
+	if code != 200 || !strings.Contains(body, `"ctl.fill": 7`) {
+		t.Errorf("/metrics.json code %d body %q", code, body)
+	}
+
+	code, body = get(t, srv, "/timeseries.json")
+	if code != 200 || !strings.Contains(body, `"bus.util"`) {
+		t.Errorf("/timeseries.json code %d body %q", code, body)
+	}
+	code, body = get(t, srv, "/timeseries.csv")
+	if code != 200 || !strings.HasPrefix(body, "cycle,bus.util\n") {
+		t.Errorf("/timeseries.csv code %d body %q", code, body)
+	}
+
+	// The trace 503s until the run publishes it, then serves the bytes.
+	if code, _ = get(t, srv, "/trace.json"); code != 503 {
+		t.Errorf("/trace.json before publish: code %d, want 503", code)
+	}
+	srv.PublishTrace([]byte(`{"traceEvents":[]}`))
+	code, body = get(t, srv, "/trace.json")
+	if code != 200 || body != `{"traceEvents":[]}` {
+		t.Errorf("/trace.json after publish: code %d body %q", code, body)
+	}
+
+	if code, body = get(t, srv, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: code %d", code)
+	}
+	if code, _ = get(t, srv, "/no/such"); code != 404 {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+	if code, _ = get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline code %d", code)
+	}
+}
+
+func TestServerNilSampler(t *testing.T) {
+	srv := NewServer(nil)
+	if code, body := get(t, srv, "/timeseries.json"); code != 200 || !strings.Contains(body, `"samples": []`) {
+		t.Errorf("/timeseries.json with nil sampler: code %d body %q", code, body)
+	}
+	if code, body := get(t, srv, "/timeseries.csv"); code != 200 || !strings.HasPrefix(body, "cycle\n") {
+		t.Errorf("/timeseries.csv with nil sampler: code %d body %q", code, body)
+	}
+}
+
+// TestServerPublishWhileSampling exercises the publish-don't-share contract
+// under the race detector: one goroutine ticks and publishes like the
+// simulation does, another hammers the read-only endpoints.
+func TestServerPublishWhileSampling(t *testing.T) {
+	smp := NewSampler(10, 64)
+	reg := NewRegistry()
+	c := reg.Counter("ctl.fill")
+	smp.Series("fills", func(uint64) float64 { return float64(c.Value()) })
+	srv := NewServer(smp)
+	smp.OnSample(func(uint64) { srv.Publish(reg.Snapshot()) })
+	srv.Publish(reg.Snapshot())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			get(t, srv, "/metrics")
+			get(t, srv, "/timeseries.json")
+		}
+	}()
+	for now := uint64(1); now <= 5000; now += 7 {
+		c.Inc()
+		if smp.Due(now) {
+			smp.Tick(now)
+		}
+	}
+	<-done
+}

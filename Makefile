@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-bench lint-fix-audit fuzz-smoke bench bench-speed bench-compare trace-smoke metrics-baseline metrics-compare serve-smoke ci
+.PHONY: all build test race vet lint lint-bench lint-fix-audit escape-audit escape-audit-check fuzz-smoke bench bench-speed bench-compare trace-smoke metrics-baseline metrics-compare serve-smoke ci
 
 all: build
 
@@ -22,7 +22,7 @@ lint:
 	$(GO) run ./cmd/secmemlint ./...
 
 # Wall-time of a full-repository lint run (load + typecheck + call graph +
-# interprocedural summary fixpoint + all eleven analyzers); every iteration
+# interprocedural summary fixpoint + all fourteen analyzers); every iteration
 # asserts the 5s budget, guarding against the suite becoming too slow to
 # keep in the default CI path.
 lint-bench:
@@ -33,6 +33,17 @@ lint-bench:
 lint-fix-audit:
 	$(GO) run ./cmd/secmemlint -suppressions ./...
 
+# Cross-check hotpathalloc's lexical zero-allocation verdicts against the
+# compiler's escape analysis: regenerate ESCAPE.json from `go build
+# -gcflags=-m` mapped onto the //secmemlint:hotpath closure. Commit the
+# diff after a deliberate hot-path change; escape-audit-check (CI) fails
+# when the committed artifact is stale or an unsanctioned escape appears.
+escape-audit:
+	$(GO) run ./cmd/escapeaudit
+
+escape-audit-check:
+	$(GO) run ./cmd/escapeaudit -check
+
 # Short native-fuzz passes over the attack surfaces that parse free-form
 # input (the lint annotation grammar) and the differential crypto oracle
 # (table-driven GF(2^128) multiply vs the bit-serial reference). One -fuzz
@@ -40,6 +51,7 @@ lint-fix-audit:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCollectIgnores -fuzztime=10s ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzSecretAnnotation -fuzztime=10s ./internal/lint
+	$(GO) test -run='^$$' -fuzz=FuzzHotpathAnnotation -fuzztime=10s ./internal/lint
 	$(GO) test -run='^$$' -fuzz=FuzzMulTable -fuzztime=10s ./internal/gf128
 
 bench:
@@ -133,4 +145,4 @@ serve-smoke:
 	kill $$pid 2>/dev/null || true; \
 	echo "serve-smoke: ok (live /metrics, /timeseries.json, /trace.json, pprof)"
 
-ci: build vet lint test race fuzz-smoke trace-smoke metrics-compare serve-smoke
+ci: build vet lint escape-audit-check test race fuzz-smoke trace-smoke metrics-compare serve-smoke

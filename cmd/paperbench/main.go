@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"secmem/internal/harness"
@@ -199,9 +200,14 @@ func main() {
 			*metrics, time.Since(t0).Seconds())
 	}
 	if *svgDir != "" {
-		for name, doc := range svgs {
+		names := make([]string, 0, len(svgs))
+		for name := range svgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			path := fmt.Sprintf("%s/%s.svg", *svgDir, name)
-			if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			if err := os.WriteFile(path, []byte(svgs[name]), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 				os.Exit(1)
 			}

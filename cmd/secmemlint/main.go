@@ -22,6 +22,12 @@
 //	-dump-summaries   print the inferred interprocedural flow table
 //	                  (per-function result/param/global/field effects and
 //	                  sink facts) instead of findings, then exit 0
+//	-dump-hotpaths    print the //secmemlint:hotpath call-graph closure —
+//	                  one line (or JSON entry) per function hotpathalloc
+//	                  holds to the zero-allocation standard, the same view
+//	                  cmd/escapeaudit freezes into ESCAPE.json
+//	-dump-goroutines  print every go statement with its enclosing loop
+//	                  shape and the termination proof goroutinelife accepts
 //	-suppressions     list every "//secmemlint:ignore" comment with
 //	                  file:line, analyzers, and reason (make lint-fix-audit)
 //
@@ -52,6 +58,8 @@ func main() {
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
 	dumpSummaries := flag.Bool("dump-summaries", false, "print the inferred interprocedural flow table and exit")
+	dumpHotpaths := flag.Bool("dump-hotpaths", false, "print the hotpath call-graph closure and exit")
+	dumpGoroutines := flag.Bool("dump-goroutines", false, "print every go statement with its loop shape and termination proof, then exit")
 	suppressions := flag.Bool("suppressions", false, "list every suppression comment with its reason and exit")
 	flag.Parse()
 	if *jsonOut {
@@ -97,6 +105,50 @@ func main() {
 
 	if *dumpSummaries {
 		fmt.Print(lint.DumpSummaries(all))
+		return
+	}
+	if *dumpHotpaths {
+		hot := lint.HotPathAudit(all)
+		if *format == "json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(hot); err != nil {
+				fmt.Fprintln(os.Stderr, "secmemlint:", err)
+				os.Exit(2)
+			}
+			return
+		}
+		for _, h := range hot {
+			mark := ""
+			if h.Root {
+				mark = " [root]"
+			}
+			if h.Suppressed {
+				mark += " [suppressed]"
+			}
+			fmt.Printf("%s:%d-%d: %s%s (hot via %s)\n",
+				relFile(h.File), h.StartLine, h.EndLine, h.Func, mark, strings.Join(h.Roots, ", "))
+		}
+		return
+	}
+	if *dumpGoroutines {
+		sites := lint.GoroutineSites(all)
+		if *format == "json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(sites); err != nil {
+				fmt.Fprintln(os.Stderr, "secmemlint:", err)
+				os.Exit(2)
+			}
+			return
+		}
+		for _, s := range sites {
+			loop := ""
+			if s.Loop != "" {
+				loop = " loop=" + s.Loop
+			}
+			fmt.Printf("%s:%d: go in %s%s signal=%s\n", relFile(s.File), s.Line, s.In, loop, s.Signal)
+		}
 		return
 	}
 	if *suppressions {
@@ -216,13 +268,18 @@ func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Anal
 // relativize rewrites absolute file paths relative to the working directory
 // when that makes them shorter and unambiguous.
 func relativize(diags []lint.Diagnostic) {
+	for i, d := range diags {
+		diags[i].File = relFile(d.File)
+	}
+}
+
+func relFile(file string) string {
 	cwd, err := os.Getwd()
 	if err != nil {
-		return
+		return file
 	}
-	for i, d := range diags {
-		if rel, err := filepath.Rel(cwd, d.File); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].File = rel
-		}
+	if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
+	return file
 }

@@ -172,7 +172,8 @@ func validateSnapshot(snap obsv.Snapshot) []string {
 	if d, ok := snap.Gauges["trace.dropped"]; ok && d > 0 {
 		errs = append(errs, fmt.Sprintf("trace recorder dropped %.0f events (metrics gauge trace.dropped); raise -tracelimit", d))
 	}
-	for name, h := range snap.Histograms {
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
 		if h.Count == 0 {
 			continue
 		}
@@ -295,15 +296,35 @@ func validateTrace(events []traceEvent, dropped uint64, want []string) []string 
 	return errs
 }
 
-// relDrift is |new-old| normalized by |old| (or by 1 when old is ~zero, so
-// series appearing from zero register as absolute drift).
+// relDrift is |new-old| normalized by |old| (clamped to 1 for fractional
+// baselines so sub-unit gauges compare on absolute drift). A baseline of
+// exactly zero has no scale to drift against: an identical zero reading is
+// clean (drift 0), while any nonzero reading is a new signal — the series
+// started firing after the baseline was cut — and returns +Inf so it trips
+// every finite tolerance instead of silently dividing by the clamp.
 func relDrift(old, cur float64) float64 {
 	d := math.Abs(cur - old)
+	if d == 0 {
+		return 0
+	}
+	if old == 0 {
+		return math.Inf(1)
+	}
 	base := math.Abs(old)
 	if base < 1 {
 		base = 1
 	}
 	return d / base
+}
+
+// driftViolation renders one over-tolerance drift. A +Inf drift means the
+// series fired from a zero baseline — a new signal, not a scaled drift — so
+// it is named as such instead of printing "+Inf".
+func driftViolation(kind, name string, d float64, old, cur string) string {
+	if math.IsInf(d, 1) {
+		return fmt.Sprintf("%s %s fired from zero baseline (new signal, now %s)", kind, name, cur)
+	}
+	return fmt.Sprintf("%s %s drifted %.3g (old %s, new %s)", kind, name, d, old, cur)
 }
 
 // compareSnapshots diffs two metrics snapshots as a regression gate:
@@ -321,7 +342,7 @@ func compareSnapshots(old, cur obsv.Snapshot, tol float64) []string {
 			continue
 		}
 		if d := relDrift(float64(ov), float64(nv)); d > tol {
-			viols = append(viols, fmt.Sprintf("counter %s drifted %.3g (old %d, new %d)", name, d, ov, nv))
+			viols = append(viols, driftViolation("counter", name, d, fmt.Sprint(ov), fmt.Sprint(nv)))
 		}
 	}
 	for _, name := range sortedKeys(cur.Counters) {
@@ -337,7 +358,7 @@ func compareSnapshots(old, cur obsv.Snapshot, tol float64) []string {
 			continue
 		}
 		if d := relDrift(ov, nv); d > tol {
-			viols = append(viols, fmt.Sprintf("gauge %s drifted %.3g (old %g, new %g)", name, d, ov, nv))
+			viols = append(viols, driftViolation("gauge", name, d, fmt.Sprintf("%g", ov), fmt.Sprintf("%g", nv)))
 		}
 	}
 	for _, name := range sortedKeys(cur.Gauges) {
@@ -353,10 +374,10 @@ func compareSnapshots(old, cur obsv.Snapshot, tol float64) []string {
 			continue
 		}
 		if d := relDrift(float64(oh.Count), float64(nh.Count)); d > tol {
-			viols = append(viols, fmt.Sprintf("histogram %s count drifted %.3g (old %d, new %d)", name, d, oh.Count, nh.Count))
+			viols = append(viols, driftViolation("histogram", name+" count", d, fmt.Sprint(oh.Count), fmt.Sprint(nh.Count)))
 		}
 		if d := relDrift(float64(oh.Sum), float64(nh.Sum)); d > tol {
-			viols = append(viols, fmt.Sprintf("histogram %s sum drifted %.3g (old %d, new %d)", name, d, oh.Sum, nh.Sum))
+			viols = append(viols, driftViolation("histogram", name+" sum", d, fmt.Sprint(oh.Sum), fmt.Sprint(nh.Sum)))
 		}
 	}
 	for _, name := range sortedKeys(cur.Histograms) {

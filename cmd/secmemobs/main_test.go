@@ -1,0 +1,121 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"secmem/internal/obsv"
+)
+
+// TestRelDrift pins the drift metric's edge behavior, especially around zero
+// baselines: a series flat at zero is clean, a series firing from zero is an
+// unconditional new-signal violation (+Inf beats any finite tolerance), and
+// no input combination divides by zero.
+func TestRelDrift(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, cur float64
+		want     float64
+	}{
+		{"zero to zero is clean", 0, 0, 0},
+		{"zero to nonzero is new signal", 0, 3, math.Inf(1)},
+		{"zero to tiny nonzero is new signal", 0, 1e-9, math.Inf(1)},
+		{"zero to negative is new signal", 0, -2, math.Inf(1)},
+		{"nonzero unchanged", 42, 42, 0},
+		{"relative drift", 100, 150, 0.5},
+		{"shrink to zero", 100, 0, 1},
+		{"fractional baseline clamps to absolute", 0.25, 0.75, 0.5},
+		{"negative baseline uses magnitude", -100, -150, 0.5},
+	}
+	for _, c := range cases {
+		got := relDrift(c.old, c.cur)
+		if got != c.want {
+			t.Errorf("%s: relDrift(%g, %g) = %g, want %g", c.name, c.old, c.cur, got, c.want)
+		}
+		if math.IsNaN(got) {
+			t.Errorf("%s: relDrift(%g, %g) is NaN", c.name, c.old, c.cur)
+		}
+	}
+}
+
+// TestCompareSnapshotsZeroBaseline drives the full gate across zero-baseline
+// series: identical zeros pass, a counter firing from zero fails regardless
+// of how loose the tolerance is, and the violation text names the new signal
+// rather than printing an infinity.
+func TestCompareSnapshotsZeroBaseline(t *testing.T) {
+	old := obsv.Snapshot{
+		Counters:   map[string]uint64{"aes.stall": 0, "dram.read": 1000},
+		Gauges:     map[string]float64{"cache.util": 0},
+		Histograms: map[string]obsv.HistSnapshot{"mac.latency": {Count: 0, Sum: 0}},
+	}
+
+	same := obsv.Snapshot{
+		Counters:   map[string]uint64{"aes.stall": 0, "dram.read": 1000},
+		Gauges:     map[string]float64{"cache.util": 0},
+		Histograms: map[string]obsv.HistSnapshot{"mac.latency": {Count: 0, Sum: 0}},
+	}
+	if viols := compareSnapshots(old, same, 0.01); len(viols) != 0 {
+		t.Fatalf("identical snapshots with zero-valued series produced violations: %v", viols)
+	}
+
+	fired := obsv.Snapshot{
+		Counters:   map[string]uint64{"aes.stall": 7, "dram.read": 1000},
+		Gauges:     map[string]float64{"cache.util": 0},
+		Histograms: map[string]obsv.HistSnapshot{"mac.latency": {Count: 0, Sum: 0}},
+	}
+	viols := compareSnapshots(old, fired, 1e9) // absurdly loose tolerance
+	if len(viols) != 1 {
+		t.Fatalf("counter firing from zero: got %d violations %v, want exactly 1", len(viols), viols)
+	}
+	if !strings.Contains(viols[0], "new signal") || !strings.Contains(viols[0], "aes.stall") {
+		t.Errorf("violation should name the new signal: %q", viols[0])
+	}
+	if strings.Contains(viols[0], "Inf") {
+		t.Errorf("violation should not leak +Inf formatting: %q", viols[0])
+	}
+}
+
+// TestCompareSnapshotsToleranceAndShape covers the ordinary gate paths: drift
+// within tolerance passes, drift beyond it fails, and series set mismatches
+// (vanished or new) are violations regardless of tolerance.
+func TestCompareSnapshotsToleranceAndShape(t *testing.T) {
+	old := obsv.Snapshot{
+		Counters:   map[string]uint64{"dram.read": 1000},
+		Gauges:     map[string]float64{"bus.util": 0.5},
+		Histograms: map[string]obsv.HistSnapshot{"mac.latency": {Count: 10, Sum: 200}},
+	}
+
+	within := obsv.Snapshot{
+		Counters:   map[string]uint64{"dram.read": 1040},
+		Gauges:     map[string]float64{"bus.util": 0.52},
+		Histograms: map[string]obsv.HistSnapshot{"mac.latency": {Count: 10, Sum: 208}},
+	}
+	if viols := compareSnapshots(old, within, 0.05); len(viols) != 0 {
+		t.Fatalf("within-tolerance drift produced violations: %v", viols)
+	}
+
+	beyond := obsv.Snapshot{
+		Counters:   map[string]uint64{"dram.read": 2000},
+		Gauges:     map[string]float64{"bus.util": 0.5},
+		Histograms: map[string]obsv.HistSnapshot{"mac.latency": {Count: 10, Sum: 200}},
+	}
+	viols := compareSnapshots(old, beyond, 0.05)
+	if len(viols) != 1 || !strings.Contains(viols[0], "dram.read") || !strings.Contains(viols[0], "drifted") {
+		t.Fatalf("over-tolerance counter drift: got %v, want one dram.read drift violation", viols)
+	}
+
+	reshaped := obsv.Snapshot{
+		Counters:   map[string]uint64{"dram.write": 5},
+		Gauges:     map[string]float64{"bus.util": 0.5},
+		Histograms: map[string]obsv.HistSnapshot{"mac.latency": {Count: 10, Sum: 200}},
+	}
+	viols = compareSnapshots(old, reshaped, 1e9)
+	if len(viols) != 2 {
+		t.Fatalf("series set change: got %v, want missing dram.read + new dram.write", viols)
+	}
+	joined := strings.Join(viols, "\n")
+	if !strings.Contains(joined, "dram.read missing") || !strings.Contains(joined, "dram.write new") {
+		t.Errorf("series set violations should name both directions:\n%s", joined)
+	}
+}

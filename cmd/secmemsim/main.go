@@ -176,6 +176,7 @@ func main() {
 			fatalf("-serve %s: %v", *serveAddr, err)
 		}
 		fmt.Printf("serving observability on http://%s (metrics, timeseries.json, trace.json, debug/pprof)\n", ln.Addr())
+		//secmemlint:ignore goroutinelife serves until process exit by design; http.Serve returns only on listener close and the process is the lifetime
 		go func() {
 			if err := http.Serve(ln, server); err != nil {
 				fmt.Fprintf(os.Stderr, "secmemsim: http server: %v\n", err)

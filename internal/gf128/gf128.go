@@ -82,12 +82,12 @@ func (e Element) Mul(o Element) Element {
 // Hash is an incremental GHASH computation keyed with H = CIPH_K(0^128).
 // Each 16-byte block folded in costs one field multiplication — the paper's
 // "chain of Galois Field Multiplications and XOR operations". The
-// multiplication is table-driven (see table.go): NewHash pays the 15
-// doublings once, and every block thereafter is 32 nibble lookups instead
+// multiplication is table-driven (see table8.go): NewHash pays the 255
+// table entries once, and every block thereafter is 16 byte lookups instead
 // of a 128-iteration bit-serial product.
 type Hash struct {
 	//secmemlint:secret — Shoup table of the GHASH subkey H = E_K(0^128); knowing H forges tags
-	t ProductTable
+	t ProductTable8
 	//secmemlint:secret — accumulated GHASH state (tag material until pad-masked)
 	y Element
 }
@@ -95,7 +95,7 @@ type Hash struct {
 // NewHash returns a GHASH instance for hash subkey h (16 bytes).
 //
 func NewHash(h []byte) *Hash {
-	return &Hash{t: NewProductTable(FromBytes(h))}
+	return &Hash{t: NewProductTable8(FromBytes(h))}
 }
 
 // Update folds one or more complete 16-byte blocks into the hash state.
@@ -105,7 +105,7 @@ func (g *Hash) Update(p []byte) {
 		panic("gf128: GHASH update not block-aligned")
 	}
 	for len(p) > 0 {
-		g.y = g.y.Xor(FromBytes(p[:16])).MulTable(&g.t)
+		g.y = g.y.Xor(FromBytes(p[:16])).MulTable8(&g.t)
 		p = p[16:]
 	}
 }

@@ -64,6 +64,7 @@ func NewProductTable(h Element) ProductTable {
 // the hardware multiplier's parallel partial-product mux; like the oracle's
 // data-dependent XORs, their software cache timing is out of scope.
 //
+//secmemlint:hotpath
 func (e Element) MulTable(t *ProductTable) Element {
 	var z Element
 	for _, word := range [2]uint64{e.Lo, e.Hi} {
@@ -85,6 +86,7 @@ func (e Element) MulTable(t *ProductTable) Element {
 // matches GHASH byte for byte and never touches the heap, so per-block MAC
 // paths can call it at memory-traffic rates.
 //
+//secmemlint:hotpath
 func GHASHTable(t *ProductTable, aad, ct []byte) [16]byte {
 	var y Element
 	feed := func(p []byte) {

@@ -3,6 +3,7 @@ package harness
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"testing"
 )
 
@@ -47,6 +48,41 @@ var campaignGoldens = []struct {
 			return tbl.String()
 		},
 	},
+}
+
+// TestFig4RunToRunDeterminism runs the Figure 4 campaign twice in-process
+// and requires byte-identical output — the rendered table AND the raw
+// normalized-IPC grid. The golden test above pins the numbers to a
+// committed fingerprint; this meta-test pins the property the determinism
+// analyzer enforces statically: with parallelFor fanning the campaign out
+// across goroutines, no map-iteration order, scheduling interleaving, or
+// float-merge order may reach the output. It keeps failing on
+// nondeterminism even right after a deliberate golden regeneration.
+func TestFig4RunToRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two multi-scheme campaigns; skipped with -short")
+	}
+	run := func() (string, string) {
+		// Functional: the real byte-level crypto (table-driven GHASH, AES
+		// kernels, MAC paths) is in the measured loop, so kernel-level
+		// nondeterminism would surface here too.
+		r := New(Options{Instructions: 200_000, Seed: 1, Functional: true,
+			Benches: []string{"swim", "mcf", "crafty"}})
+		tbl, data := r.Fig4()
+		raw, err := json.Marshal(data) // map keys marshal sorted: canonical form
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String(), string(raw)
+	}
+	tbl1, raw1 := run()
+	tbl2, raw2 := run()
+	if tbl1 != tbl2 {
+		t.Errorf("rendered Figure 4 table differs between two identical in-process runs:\nfirst:\n%s\nsecond:\n%s", tbl1, tbl2)
+	}
+	if raw1 != raw2 {
+		t.Errorf("normalized-IPC grid differs between two identical in-process runs:\nfirst: %s\nsecond: %s", raw1, raw2)
+	}
 }
 
 func TestCampaignDeterminism(t *testing.T) {

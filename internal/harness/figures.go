@@ -502,7 +502,11 @@ func (r *Runner) Scalars() (stats.Table, ScalarsResult) {
 	benches := r.Opt.benches()
 	var mu sync.Mutex
 	var onchip, meancyc []float64
-	var splitRate, monoRate float64 // re-encrypted blocks per second
+	// Per-bench rate contributions, reduced in bench order after the join:
+	// float addition is not associative, so accumulating across workers in
+	// completion order would make the scalars interleaving-dependent.
+	splitContrib := make([]float64, len(benches))
+	monoContrib := make([]float64, len(benches))
 	maxConc := 0
 	var stalls, reencs uint64
 	// The stressed configuration: 4-bit minors and a small L2 (so the hot
@@ -529,13 +533,20 @@ func (r *Runner) Scalars() (stats.Table, ScalarsResult) {
 		stalls += uint64(stress.RSR.StallCycles)
 		// Analytic rates from the default-geometry run.
 		if rate.Seconds > 0 {
+			var split float64
 			for _, f := range rate.PageFastestIncrs {
-				splitRate += float64(f) / 128 * 64 / rate.Seconds
+				split += float64(f) / 128 * 64 / rate.Seconds
 			}
-			monoRate += float64(rate.FastestIncr) / 256 * memBlocks / rate.Seconds
+			splitContrib[i] = split
+			monoContrib[i] = float64(rate.FastestIncr) / 256 * memBlocks / rate.Seconds
 		}
 		mu.Unlock()
 	})
+	var splitRate, monoRate float64 // re-encrypted blocks per second
+	for i := range benches {
+		splitRate += splitContrib[i]
+		monoRate += monoContrib[i]
+	}
 	res := ScalarsResult{
 		OnChipFraction:  stats.Mean(onchip),
 		MeanReencCycles: stats.Mean(meancyc),

@@ -1,0 +1,441 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPathAlloc is the zero-allocation gate for the per-access crypto and
+// simulator paths. A "//secmemlint:hotpath" comment in a function's doc
+// marks it a hot root — code executed for every simulated memory transfer
+// (pad generation, per-block MAC, table multiplies, the functional
+// read/write paths). The analyzer walks the module call graph
+// (callgraph.go) from each root and flags, anywhere in the reachable
+// closure, constructs that heap-allocate or defeat the compiler's escape
+// analysis:
+//
+//   - make / new (allocation unless escape analysis proves otherwise)
+//   - append (may grow the backing array)
+//   - slice and map composite literals
+//   - string concatenation and string<->[]byte conversions
+//   - fmt calls (formatting boxes arguments and builds strings)
+//   - interface boxing of non-pointer-shaped arguments at call sites
+//   - calls through interface methods (the callee is unresolvable, so its
+//     allocations cannot be proven absent — devirtualize, as PadGen does)
+//   - function literals that escape their binding (closure allocation);
+//     literals called in place or bound to a local used only in call
+//     position compile to stack frames and are exempt
+//
+// The lexical verdicts are cross-checked against the compiler's real
+// escape analysis by cmd/escapeaudit, which parses `go build -gcflags=-m`
+// into the committed ESCAPE.json; HotPathAudit below is the shared view of
+// the closure both sides use. Struct/array literals, &T{} pointers, defer,
+// and calls through function-typed values are deliberately not flagged —
+// they are frequently stack-allocated or cold — and the escape audit is
+// the backstop for those.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "code reachable from //secmemlint:hotpath roots must not heap-allocate",
+	Run:  runHotPathAlloc,
+}
+
+const hotPathAllocName = "hotpathalloc"
+
+// hotPathPrefix marks hot roots in function doc comments.
+const hotPathPrefix = "secmemlint:hotpath"
+
+// hotAnalysis is the module-wide result, computed once per Run and cached
+// on the interprocedural state (the sharedstate.go pattern).
+type hotAnalysis struct {
+	findings map[*Package][]posFinding
+	audit    []HotFunc
+}
+
+// posFinding is a pre-rendered diagnostic waiting for its package's pass.
+type posFinding struct {
+	pos token.Pos
+	msg string
+}
+
+func runHotPathAlloc(pass *Pass) {
+	ip := pass.secrets.interp
+	if ip == nil {
+		return
+	}
+	if ip.hot == nil {
+		ip.hot = analyzeHotPaths(ip)
+	}
+	for _, f := range ip.hot.findings[pass.Pkg] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// HotFunc is one function on the hot-path closure — the unit the
+// ESCAPE.json escape-analysis cross-check (cmd/escapeaudit) audits.
+type HotFunc struct {
+	// Func is the fully qualified function name.
+	Func string `json:"func"`
+	// File and the line range locate the declaration (doc comment through
+	// closing brace), so compiler escape diagnostics can be mapped in.
+	File      string `json:"file"`
+	StartLine int    `json:"start_line"`
+	EndLine   int    `json:"end_line"`
+	// Roots lists the annotated hot roots whose closures include this
+	// function; Root marks the function as itself annotated.
+	Roots []string `json:"roots"`
+	Root  bool     `json:"root,omitempty"`
+	// Suppressed reports that the function body carries at least one
+	// hotpathalloc suppression: escape diagnostics inside it are sanctioned
+	// at function granularity.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// HotPathAudit computes the hot-path closure of pkgs and returns one entry
+// per member, ordered by file position — the lint side of the ESCAPE.json
+// contract.
+func HotPathAudit(pkgs []*Package) []HotFunc {
+	idx := collectSecrets(pkgs)
+	ignores := collectModuleIgnores(pkgs)
+	ip := computeInterproc(pkgs, idx, ignores)
+	if ip.hot == nil {
+		ip.hot = analyzeHotPaths(ip)
+	}
+	return ip.hot.audit
+}
+
+func analyzeHotPaths(ip *interproc) *hotAnalysis {
+	res := &hotAnalysis{findings: make(map[*Package][]posFinding)}
+	roots := hotPathRoots(ip)
+	closure := hotClosure(ip, roots)
+	isRoot := make(map[*types.Func]bool, len(roots))
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+	for _, fn := range ip.graph.order {
+		vias, ok := closure[fn]
+		if !ok {
+			continue
+		}
+		decl := ip.graph.decls[fn]
+		pkg := ip.graph.pkgOf[fn]
+		res.audit = append(res.audit, auditEntry(ip, pkg, fn, decl, vias, isRoot[fn]))
+		res.findings[pkg] = append(res.findings[pkg], scanHotBody(pkg, decl, vias)...)
+	}
+	return res
+}
+
+// hotPathRoots returns the annotated functions in deterministic order.
+func hotPathRoots(ip *interproc) []*types.Func {
+	var roots []*types.Func
+	for _, fn := range ip.graph.order {
+		if hasHotPathDoc(ip.graph.decls[fn].Doc) {
+			roots = append(roots, fn)
+		}
+	}
+	return roots
+}
+
+func hasHotPathDoc(g *ast.CommentGroup) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotPathPrefix || strings.HasPrefix(text, hotPathPrefix+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// hotClosure walks the call graph from each root and maps every reachable
+// module function to the sorted names of the roots that reach it. Edges
+// are the reference-based over-approximation of callgraph.go, which is the
+// safe direction here: a function mentioned on a hot path is held to the
+// hot-path standard even if the mention is a stored callback.
+func hotClosure(ip *interproc, roots []*types.Func) map[*types.Func][]string {
+	reached := make(map[*types.Func]map[string]bool)
+	for _, root := range roots {
+		name := root.Name()
+		queue := []*types.Func{root}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			m := reached[fn]
+			if m == nil {
+				m = make(map[string]bool)
+				reached[fn] = m
+			}
+			if m[name] {
+				continue
+			}
+			m[name] = true
+			queue = append(queue, ip.graph.callees[fn]...)
+		}
+	}
+	out := make(map[*types.Func][]string, len(reached))
+	for fn, m := range reached {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out[fn] = names
+	}
+	return out
+}
+
+func auditEntry(ip *interproc, pkg *Package, fn *types.Func, decl *ast.FuncDecl, vias []string, isRoot bool) HotFunc {
+	start := pkg.Fset.Position(decl.Pos())
+	if decl.Doc != nil {
+		start = pkg.Fset.Position(decl.Doc.Pos())
+	}
+	end := pkg.Fset.Position(decl.End())
+	h := HotFunc{
+		Func:      fn.FullName(),
+		File:      start.Filename,
+		StartLine: start.Line,
+		EndLine:   end.Line,
+		Roots:     vias,
+		Root:      isRoot,
+	}
+	for line, names := range ip.ignores[start.Filename] {
+		if line < start.Line || line > end.Line {
+			continue
+		}
+		for _, n := range names {
+			if n == hotPathAllocName || n == "all" {
+				h.Suppressed = true
+			}
+		}
+	}
+	return h
+}
+
+// scanHotBody reports the allocating constructs in one closure member.
+func scanHotBody(pkg *Package, decl *ast.FuncDecl, vias []string) []posFinding {
+	info := pkg.Info
+	via := strings.Join(vias, ", ")
+	var out []posFinding
+	report := func(pos token.Pos, what string) {
+		out = append(out, posFinding{pos: pos, msg: fmt.Sprintf(
+			"%s in %s, which is on the //secmemlint:hotpath closure of %s; per-access code must stay heap-free (cross-checked by ESCAPE.json)",
+			what, decl.Name.Name, via)})
+	}
+	safeLits := classifyFuncLits(info, decl.Body)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !safeLits[n] {
+				report(n.Pos(), "escaping function literal (closure allocation)")
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal (backing-array allocation)")
+				case *types.Map:
+					report(n.Pos(), "map literal (map allocation)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Type != nil && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation (result allocation)")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			scanHotCall(info, n, report)
+		}
+		return true
+	})
+	return out
+}
+
+func scanHotCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make (allocation unless escape analysis proves otherwise)")
+			case "new":
+				report(call.Pos(), "new (allocation unless escape analysis proves otherwise)")
+			case "append":
+				report(call.Pos(), "append (may grow the backing array)")
+			}
+			return
+		}
+	}
+	// Conversions: T(x) where T is a type. Only string<->byte/rune slice
+	// conversions copy; numeric and struct conversions are free.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && atv.Type != nil && atv.Value == nil &&
+				stringSliceConversion(tv.Type, atv.Type) {
+				report(call.Pos(), "string/[]byte conversion (copy allocation)")
+			}
+		}
+		return
+	}
+	callee, _ := calleeObject(info, call).(*types.Func)
+	if callee != nil {
+		if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			report(call.Pos(), "fmt."+callee.Name()+" call (formatting allocates)")
+		}
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				report(call.Pos(), "call through interface method "+callee.Name()+" (unresolvable callee may allocate; devirtualize the hot path)")
+			}
+			reportBoxing(info, call, sig, report)
+		}
+	}
+}
+
+// reportBoxing flags arguments boxed into interface parameters. Pointer-
+// shaped values (pointers, channels, maps, funcs) fit the interface data
+// word and constants are interned by the compiler; everything else is a
+// runtime allocation at the call site.
+func reportBoxing(info *types.Info, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string)) {
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		if call.Ellipsis != token.NoPos && i == len(call.Args)-1 {
+			break // f(xs...) passes the slice through, no boxing here
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil || tv.Value != nil {
+			continue
+		}
+		at := tv.Type
+		if types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "interface boxing of a non-pointer value")
+	}
+}
+
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func stringSliceConversion(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// classifyFuncLits separates stack-friendly function literals from
+// escaping ones. A literal is safe when it is invoked in place
+// ((func(){...})(), including go/defer forms) or bound once via := / var
+// to a local whose every use is a direct call — the GHASHTable8 `feed`
+// idiom, which the compiler keeps on the stack. Reassignment, or any use
+// of the bound name outside call position (argument, return, store),
+// makes the closure escape.
+func classifyFuncLits(info *types.Info, body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	safe := make(map[*ast.FuncLit]bool)
+	bound := make(map[types.Object]*ast.FuncLit)
+	spoiled := make(map[types.Object]bool)
+	callUses := make(map[types.Object]int)
+	totalUses := make(map[types.Object]int)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			if lit, ok := fun.(*ast.FuncLit); ok {
+				safe[lit] = true
+			}
+			if id, ok := fun.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					callUses[obj]++
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				lit, isLit := ast.Unparen(n.Rhs[i]).(*ast.FuncLit)
+				if isLit && n.Tok == token.DEFINE && bound[obj] == nil && !spoiled[obj] {
+					bound[obj] = lit
+				} else {
+					spoiled[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i >= len(n.Values) {
+					break
+				}
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if lit, ok := ast.Unparen(n.Values[i]).(*ast.FuncLit); ok {
+					bound[obj] = lit
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil {
+				totalUses[obj]++
+			}
+		}
+		return true
+	})
+	for obj, lit := range bound {
+		if !spoiled[obj] && callUses[obj] == totalUses[obj] {
+			safe[lit] = true
+		}
+	}
+	return safe
+}

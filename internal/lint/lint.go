@@ -23,14 +23,24 @@
 //     preferred) and no lock is held across a blocking operation.
 //   - globalmut: no mutable package-level state in the simulator core
 //     packages, so shards and tenants stay independently instantiable.
+//   - hotpathalloc: code reachable from "//secmemlint:hotpath" roots (the
+//     per-access pad/MAC/multiply paths) must not heap-allocate;
+//     cross-checked against compiler escape analysis via ESCAPE.json.
+//   - determinism: no map-iteration order, wall clock, or cross-goroutine
+//     float accumulation may reach simulation outputs.
+//   - goroutinelife: every go statement carries a provable termination
+//     signal, and spawning in a loop must be bounded (worker pools).
 //
 // secretflow, cttiming, and taintescape ride on the taint/dataflow engine
 // in taint.go, seeded by "//secmemlint:secret" annotations on the real
 // key, pad, and plaintext state across aescipher, gcmmode, gf128, and
 // core, and extended across function boundaries by the interprocedural
-// summaries of summary.go over the call graph of callgraph.go. The three
-// concurrency analyzers are the static merge gate for the parallel
-// event-driven simulator core (ROADMAP).
+// summaries of summary.go over the call graph of callgraph.go. The
+// concurrency analyzers (sharedstate, lockdiscipline, globalmut,
+// determinism, goroutinelife) are the static merge gate for the parallel
+// event-driven simulator core (ROADMAP); hotpathalloc rides the same call
+// graph to hold the per-access closure to the zero-allocation budget the
+// speed benchmarks assume.
 //
 // The compiler cannot see any of these properties; the analyzers keep all
 // packages honest through refactors. cmd/secmemlint is the CLI driver and
@@ -107,6 +117,9 @@ func All() []*Analyzer {
 		SharedState,
 		LockDiscipline,
 		GlobalMut,
+		HotPathAlloc,
+		Determinism,
+		GoroutineLife,
 	}
 }
 

@@ -46,6 +46,9 @@ func TestViolationsAreDetected(t *testing.T) {
 		"sharedstate":    "sharedstate/racy",
 		"lockdiscipline": "lockdiscipline/leaky",
 		"globalmut":      "globalmut/core",
+		"hotpathalloc":   "hotpathalloc/hot",
+		"determinism":    "determinism/violating",
+		"goroutinelife":  "goroutinelife/leaky",
 	}
 	for name, dir := range fixtures {
 		pkgs, err := Load(filepath.Join("testdata", "src", filepath.FromSlash(dir)), []string{"."})

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // SharedState is the first concurrency gate for the ROADMAP's parallel
@@ -91,8 +92,8 @@ func runSharedState(pass *Pass) {
 }
 
 func analyzeSharedState(ip *interproc) *sharedAnalysis {
-	scan := scanLiterals(ip)
-	conc, concFuncs := propagateConcurrency(scan)
+	cc := ip.concurrency()
+	scan, conc, concFuncs := cc.scan, cc.conc, cc.concFuncs
 
 	// Order concurrent bodies deterministically by position.
 	type body struct {
@@ -112,14 +113,7 @@ func analyzeSharedState(ip *interproc) *sharedAnalysis {
 			bodies = append(bodies, body{pkg: ip.graph.pkgOf[fn], node: decl, blk: decl.Body, globalsOnly: true})
 		}
 	}
-	sortBodies := func(i, j int) bool { return bodies[i].blk.Pos() < bodies[j].blk.Pos() }
-	for i := range bodies {
-		for j := i + 1; j < len(bodies); j++ {
-			if sortBodies(j, i) {
-				bodies[i], bodies[j] = bodies[j], bodies[i]
-			}
-		}
-	}
+	sort.Slice(bodies, func(i, j int) bool { return bodies[i].blk.Pos() < bodies[j].blk.Pos() })
 
 	type access struct {
 		body    int

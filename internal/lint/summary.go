@@ -211,6 +211,29 @@ type interproc struct {
 	// shared caches the module-wide concurrency analysis (sharedstate.go),
 	// computed on first demand within one Run.
 	shared *sharedAnalysis
+	// conc caches the concurrent-body fixpoint (scanLiterals +
+	// propagateConcurrency) shared by sharedstate and determinism.
+	conc *concurrency
+	// hot caches the hot-path closure analysis (hotpathalloc.go).
+	hot *hotAnalysis
+}
+
+// concurrency bundles the module-wide concurrent-body discovery so every
+// analyzer that needs "which bodies may run on another goroutine" pays
+// for it once per Run.
+type concurrency struct {
+	scan      *litScan
+	conc      map[*ast.FuncLit]bool
+	concFuncs map[*types.Func]bool
+}
+
+func (ip *interproc) concurrency() *concurrency {
+	if ip.conc == nil {
+		scan := scanLiterals(ip)
+		c, cf := propagateConcurrency(scan)
+		ip.conc = &concurrency{scan: scan, conc: c, concFuncs: cf}
+	}
+	return ip.conc
 }
 
 // maxGlobalRounds bounds the outer fixpoint that promotes secret-receiving

@@ -1,0 +1,97 @@
+// Package clean exercises the goroutinelife analyzer's negatives: the
+// counted worker pool with WaitGroup join, channel-range consumers, the
+// stop-channel select idiom, Done-channel receives, and named launches that
+// thread their stop signal through a parameter or prove termination in
+// their own body.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// workerPool is the harness.parallelFor shape: a counted loop of workers,
+// each joining through the WaitGroup.
+func workerPool(jobs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(jobs))
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(jobs); i += 4 {
+				out[i] = jobs[i] * 2
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// fanOut spawns once per element of a slice: bounded per call.
+func fanOut(parts [][]int) {
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []int) {
+			defer wg.Done()
+			_ = len(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// drainChannel terminates when the producer closes jobs.
+func drainChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// stopSelect is the stop-channel idiom: the select's stop clause returns.
+func stopSelect(stop chan struct{}, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// watchContext blocks on the context's Done channel.
+func watchContext(ctx context.Context, results chan int) {
+	go func() {
+		<-ctx.Done()
+		close(results)
+	}()
+}
+
+// launchNamed threads the stop signal (the channel close) through
+// consume's parameter.
+func launchNamed(jobs chan int) {
+	go consume(jobs)
+}
+
+func consume(jobs chan int) {
+	for range jobs {
+	}
+}
+
+var poolWG sync.WaitGroup
+
+// runPool launches a module function whose own body proves termination.
+func runPool() {
+	poolWG.Add(1)
+	go pooled()
+	poolWG.Wait()
+}
+
+func pooled() {
+	defer poolWG.Done()
+}

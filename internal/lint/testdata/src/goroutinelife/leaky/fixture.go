@@ -1,0 +1,70 @@
+// Package leaky exercises the goroutinelife analyzer's positive cases:
+// goroutines with no provable termination signal, unbounded spawn loops,
+// per-message spawns, opaque function-value launches, and external callees
+// that cannot be proven to stop.
+package leaky
+
+import "runtime"
+
+// leakyLiteral spawns a producer that holds work live forever if the
+// receiver goes away; nothing in the body proves termination.
+func leakyLiteral(work []int) chan int {
+	results := make(chan int, 1)
+	go func() { // want "no provable termination signal"
+		for _, w := range work {
+			results <- w * 2
+		}
+	}()
+	return results
+}
+
+// spawnForever launches one goroutine per iteration of an infinite loop.
+func spawnForever(jobs chan int) {
+	for {
+		go drain(jobs) // want "infinite for loop"
+	}
+}
+
+// spawnWhile is the condition-only variant: boundedness depends on data.
+func spawnWhile(busy func() bool, jobs chan int) {
+	for busy() {
+		go drain(jobs) // want "condition-only for loop"
+	}
+}
+
+// perMessage spawns a goroutine for every received message.
+func perMessage(jobs chan int) {
+	for j := range jobs {
+		_ = j
+		go drain(jobs) // want "per channel message"
+	}
+}
+
+// launchValue cannot see through the function value.
+func launchValue(fn func()) {
+	go fn() // want "function value whose termination cannot be proven"
+}
+
+// runWorker launches a module function with neither a termination signal
+// in its body nor a channel/context parameter.
+func runWorker() {
+	go pump() // want "goroutine pump has no provable termination signal"
+}
+
+func pump() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}
+
+// backgroundGC launches an external function: unprovable.
+func backgroundGC() {
+	go runtime.GC() // want "declared outside the module"
+}
+
+// drain has a channel parameter, so launching it is fine — the loop rules
+// above fire on the spawn sites, not on drain.
+func drain(jobs chan int) {
+	for range jobs {
+	}
+}

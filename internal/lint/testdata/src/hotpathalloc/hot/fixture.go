@@ -1,0 +1,57 @@
+// Package hot exercises the hotpathalloc analyzer's positive cases: two
+// //secmemlint:hotpath roots whose closure heap-allocates in every way the
+// analyzer models — builtins, literals, conversions, formatting, interface
+// dispatch and boxing, and escaping closures — both directly in a root and
+// in a shared helper reached from both roots.
+package hot
+
+import "fmt"
+
+// Sink keeps escaping values alive so the fixtures are not dead code.
+var Sink interface{}
+
+type hasher interface {
+	Sum(p []byte) []byte
+}
+
+// record mimics a logging sink with an interface parameter.
+func record(v interface{}) {
+	Sink = v
+}
+
+// Process is a per-access hot root allocating in every direct form.
+//
+//secmemlint:hotpath
+func Process(h hasher, p []byte, n int) []byte {
+	buf := make([]byte, n)        // want "make .allocation unless escape analysis proves otherwise. in Process, which is on the .*closure of Process"
+	buf = append(buf, p...)       // want "append .may grow the backing array."
+	pairs := []int{1, 2}          // want "slice literal .backing-array allocation."
+	idx := map[string]int{"a": 1} // want "map literal .map allocation."
+	_, _ = pairs, idx
+	s := string(p) // want "string/..byte conversion .copy allocation."
+	s = s + "!"    // want "string concatenation .result allocation."
+	_ = s
+	fmt.Println()                         // want "fmt.Println call .formatting allocates."
+	record(n)                             // want "interface boxing of a non-pointer value"
+	sum := h.Sum(buf)                     // want "call through interface method Sum"
+	esc := func() int { return len(sum) } // want "escaping function literal .closure allocation."
+	Sink = esc
+	scratch := make([]byte, 16) //secmemlint:ignore hotpathalloc fixture: sanctioned allocation proves the suppression path filters hot findings
+	_ = helper(scratch)
+	return scratch
+}
+
+// Tag is a second root so helper's diagnostics name both roots, sorted.
+//
+//secmemlint:hotpath
+func Tag(p []byte) *int {
+	return helper(p)
+}
+
+// helper is not annotated itself; it is hot because both roots reach it.
+func helper(p []byte) *int {
+	if len(p) == 0 {
+		return nil
+	}
+	return new(int) // want "new .allocation unless escape analysis proves otherwise. in helper, which is on the .*closure of Process, Tag"
+}

@@ -5,12 +5,13 @@
 //
 //	benchspeed -out BENCH_speed.json             # measure, write artifact
 //	benchspeed -benchtime 10ms -e2e=false        # quick kernel-only pass (CI smoke)
-//	benchspeed -compare -tol 0.25 old.json new.json
+//	benchspeed -compare -tol 0.25 -etol 0.5 -ptol 0.6 old.json new.json
 //
 // Compare mode exits non-zero when any kernel's ns/op in new.json exceeds
-// old.json by more than the tolerance; speedup ratios and end-to-end numbers
-// are reported but informational (they track machine load too closely to
-// gate on).
+// old.json by more than -tol, or when the serial (-etol) or parallel
+// sharded-core (-ptol) end-to-end throughput drops by more than its own
+// tolerance — three independent knobs because the three figures carry very
+// different noise. Campaign seconds and speedup ratios stay informational.
 package main
 
 import (
@@ -50,10 +51,22 @@ type Kernel struct {
 }
 
 // EndToEnd holds the whole-simulator numbers: one reduced Figure 4 campaign
-// and the simulated-instruction throughput of the default protected config.
+// and the simulated-instruction throughput of the default protected config,
+// measured through both the classic serial core and the sharded parallel
+// core (ShardSlices address slices on ParallelWorkers goroutines).
 type EndToEnd struct {
 	CampaignFig4Seconds float64 `json:"campaign_fig4_s"`
 	SimInstrPerSecond   float64 `json:"sim_instr_per_s"`
+	// SimInstrPerSecondParallel is the sharded-core throughput at
+	// ParallelWorkers workers (GOMAXPROCS at measurement time). On a
+	// single-core host this bounds below the serial figure — the sharded
+	// model routes the stream before simulating it — and scales with
+	// cores up to the slice count elsewhere.
+	SimInstrPerSecondParallel float64 `json:"sim_instr_per_s_parallel,omitempty"`
+	ParallelWorkers           int     `json:"parallel_workers,omitempty"`
+	// MergeOverheadFraction is shard-merge wall time over total sharded
+	// run time: the serial tail Amdahl charges the parallel core.
+	MergeOverheadFraction float64 `json:"merge_overhead_fraction,omitempty"`
 }
 
 const schemaID = "secmem-bench-speed/v1"
@@ -199,8 +212,32 @@ func measure(benchtime string, e2e bool) (*Artifact, error) {
 		t0 = time.Now()
 		out := r2.Run("swim", config.Default())
 		ips := float64(out.CPU.Instructions) / time.Since(t0).Seconds()
-		art.EndToEnd = &EndToEnd{CampaignFig4Seconds: campaign, SimInstrPerSecond: ips}
-		fmt.Printf("end-to-end: fig4 campaign %.2fs, %.0f sim instr/s\n", campaign, ips)
+
+		// The same workload through the sharded parallel core, at one
+		// worker per available CPU. Best of three: the figure is a
+		// capability claim, and a single run on a loaded machine
+		// understates it.
+		workers := runtime.GOMAXPROCS(0)
+		r3 := harness.New(harness.Options{Instructions: 1_000_000, Seed: 1, Shards: workers})
+		var pips, mergeFrac float64
+		for try := 0; try < 3; try++ {
+			t0 = time.Now()
+			pout := r3.Run("swim", config.Default())
+			el := time.Since(t0)
+			if got := float64(pout.CPU.Instructions) / el.Seconds(); got > pips {
+				pips = got
+				mergeFrac = float64(r3.MergeNanos()) / float64(el.Nanoseconds())
+			}
+		}
+		art.EndToEnd = &EndToEnd{
+			CampaignFig4Seconds:       campaign,
+			SimInstrPerSecond:         ips,
+			SimInstrPerSecondParallel: pips,
+			ParallelWorkers:           workers,
+			MergeOverheadFraction:     mergeFrac,
+		}
+		fmt.Printf("end-to-end: fig4 campaign %.2fs, %.0f sim instr/s serial, %.0f sim instr/s sharded (%d workers, merge %.2f%%)\n",
+			campaign, ips, pips, workers, mergeFrac*100)
 	}
 	return art, nil
 }
@@ -231,10 +268,13 @@ func load(path string) (*Artifact, error) {
 	return &a, nil
 }
 
-// compare gates on kernel ns/op only: a kernel in new more than tol slower
-// than in old is a regression. End-to-end numbers and speedup ratios are
-// printed for context but never fail the run.
-func compare(oldPath, newPath string, tol float64) error {
+// compare gates on kernel ns/op (tol), serial end-to-end throughput (etol),
+// and parallel sharded-core throughput (ptol) — three independent
+// tolerances, because the three figures have very different noise: kernels
+// are tight, end-to-end numbers track machine load, and the parallel
+// figure additionally tracks how many CPUs the measuring host actually
+// has. Campaign seconds and speedup ratios stay informational.
+func compare(oldPath, newPath string, tol, etol, ptol float64) error {
 	oldA, err := load(oldPath)
 	if err != nil {
 		return err
@@ -264,13 +304,30 @@ func compare(oldPath, newPath string, tol float64) error {
 	if oldA.EndToEnd != nil && newA.EndToEnd != nil {
 		fmt.Printf("%-18s %12.2f -> %12.2f s (informational)\n",
 			"campaign_fig4", oldA.EndToEnd.CampaignFig4Seconds, newA.EndToEnd.CampaignFig4Seconds)
-		fmt.Printf("%-18s %12.0f -> %12.0f instr/s (informational)\n",
-			"sim_speed", oldA.EndToEnd.SimInstrPerSecond, newA.EndToEnd.SimInstrPerSecond)
+		// Throughput figures gate on slowdown: old/new - 1 is the fraction
+		// of throughput lost.
+		gate := func(name string, old, new, tol float64) {
+			if old <= 0 || new <= 0 {
+				fmt.Printf("%-18s n/a (absent from one artifact)\n", name)
+				return
+			}
+			slow := old/new - 1
+			mark := "ok"
+			if slow > tol {
+				mark = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-18s %12.0f -> %12.0f instr/s  %+6.1f%%  %s (tol %.0f%%)\n",
+				name, old, new, (new/old-1)*100, mark, tol*100)
+		}
+		gate("sim_speed", oldA.EndToEnd.SimInstrPerSecond, newA.EndToEnd.SimInstrPerSecond, etol)
+		gate("sim_speed_parallel", oldA.EndToEnd.SimInstrPerSecondParallel, newA.EndToEnd.SimInstrPerSecondParallel, ptol)
 	}
 	if regressions > 0 {
-		return fmt.Errorf("%d kernel(s) regressed more than %.0f%%", regressions, tol*100)
+		return fmt.Errorf("%d figure(s) regressed beyond tolerance", regressions)
 	}
-	fmt.Printf("bench-compare: ok (no kernel slower by more than %.0f%%)\n", tol*100)
+	fmt.Printf("bench-compare: ok (kernels within %.0f%%, end-to-end within %.0f%%, parallel within %.0f%%)\n",
+		tol*100, etol*100, ptol*100)
 	return nil
 }
 
@@ -280,8 +337,10 @@ func main() {
 		out       = flag.String("out", "BENCH_speed.json", "write the benchmark artifact to this file")
 		benchtime = flag.String("benchtime", "1s", "per-kernel measurement time (testing -benchtime syntax)")
 		e2e       = flag.Bool("e2e", true, "also measure the end-to-end campaign and simulator throughput")
-		doCompare = flag.Bool("compare", false, "compare two artifacts: benchspeed -compare [-tol F] old.json new.json")
+		doCompare = flag.Bool("compare", false, "compare two artifacts: benchspeed -compare [-tol F] [-etol F] [-ptol F] old.json new.json")
 		tol       = flag.Float64("tol", 0.25, "allowed fractional slowdown per kernel in -compare mode")
+		etol      = flag.Float64("etol", 0.5, "allowed fractional serial end-to-end throughput loss in -compare mode")
+		ptol      = flag.Float64("ptol", 0.6, "allowed fractional parallel (sharded-core) throughput loss in -compare mode; looser than -etol because the figure also tracks the measuring host's core count")
 	)
 	flag.Parse()
 
@@ -290,7 +349,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchspeed -compare [-tol F] old.json new.json")
 			os.Exit(2)
 		}
-		if err := compare(flag.Arg(0), flag.Arg(1), *tol); err != nil {
+		if err := compare(flag.Arg(0), flag.Arg(1), *tol, *etol, *ptol); err != nil {
 			fmt.Fprintf(os.Stderr, "benchspeed: %v\n", err)
 			os.Exit(1)
 		}

@@ -75,19 +75,25 @@ func (s Stats) HitRate() float64 {
 	return float64(a-s.Misses()) / float64(a)
 }
 
-type line struct {
-	tag    uint64
-	valid  bool
-	dirty  bool
-	pinned bool
-	lru    uint64
-}
+// Per-line state is packed into parallel flat arrays (set-major, way-minor)
+// instead of a struct-of-everything: the demand-lookup scan touches only the
+// keys array, so an 8-way set costs one cache line of host memory instead of
+// three. A key is (tag<<1 | valid) — zero means invalid, and no valid line
+// is ever zero since the tag gains the bit. Dirty/pinned bits and the LRU
+// stamps are off the compare path and only touched on hits and fills.
+const (
+	flagDirty  = 1 << 0
+	flagPinned = 1 << 1
+)
 
 // Cache is a set-associative write-back cache. Not safe for concurrent use;
 // the simulator is single-threaded per run.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
+	ways      int
+	keys      []uint64 // tag<<1|valid per line
+	lru       []uint64 // LRU stamp per line
+	flags     []uint8  // dirty/pinned per line
 	setMask   uint64
 	setBits   uint
 	blockMask uint64
@@ -115,11 +121,6 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nsets := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
-	for i := range sets {
-		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
 	bb := uint(0)
 	for 1<<bb != cfg.BlockBytes {
 		bb++
@@ -128,9 +129,13 @@ func New(cfg Config) *Cache {
 	for 1<<sb != nsets {
 		sb++
 	}
+	nl := nsets * cfg.Ways
 	return &Cache{
 		cfg:       cfg,
-		sets:      sets,
+		ways:      cfg.Ways,
+		keys:      make([]uint64, nl),
+		lru:       make([]uint64, nl),
+		flags:     make([]uint8, nl),
 		setMask:   uint64(nsets - 1),
 		setBits:   sb,
 		blockMask: ^uint64(cfg.BlockBytes - 1),
@@ -144,9 +149,11 @@ func (c *Cache) Config() Config { return c.cfg }
 // BlockAddr aligns addr down to its containing block.
 func (c *Cache) BlockAddr(addr uint64) uint64 { return addr & c.blockMask }
 
-func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+// locate returns the set's base line index and the key (tag<<1|valid) a
+// resident copy of addr would carry.
+func (c *Cache) locate(addr uint64) (base int, key uint64) {
 	blk := addr >> c.blockBits
-	return c.sets[blk&c.setMask], blk >> c.setBits
+	return int(blk&c.setMask) * c.ways, (blk>>c.setBits)<<1 | 1
 }
 
 // Lookup performs a demand access. On a hit it updates LRU state (and the
@@ -159,13 +166,14 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 	} else {
 		c.Stats.Reads++
 	}
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base, key := c.locate(addr)
+	keys := c.keys[base : base+c.ways : base+c.ways]
+	for i, k := range keys {
+		if k == key {
 			c.lruClock++
-			set[i].lru = c.lruClock
+			c.lru[base+i] = c.lruClock
 			if write {
-				set[i].dirty = true
+				c.flags[base+i] |= flagDirty
 			}
 			c.mHit.Inc()
 			return true
@@ -183,47 +191,55 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 // Fill allocates addr's block (which must not already be present), marking
 // it dirty if requested, and reports the evicted victim if any.
 func (c *Cache) Fill(addr uint64, dirty bool) (ev Eviction, evicted bool) {
-	set, tag := c.locate(addr)
+	base, key := c.locate(addr)
 	victim := -1
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	for i := 0; i < c.ways; i++ {
+		k := c.keys[base+i]
+		if k == key {
 			panic(fmt.Sprintf("cache %s: Fill of resident block %#x", c.cfg.Name, addr))
 		}
-		if !set[i].valid {
+		if k&1 == 0 {
 			victim = i
 			break
 		}
-		if victim < 0 || set[i].lru < set[victim].lru {
+		if victim < 0 || c.lru[base+i] < c.lru[base+victim] {
 			victim = i
 		}
 	}
-	l := &set[victim]
-	if l.valid && l.pinned {
+	vk := c.keys[base+victim]
+	if vk&1 != 0 && c.flags[base+victim]&flagPinned != 0 {
 		// Fall back to the least recently used unpinned way.
 		victim = -1
-		for i := range set {
-			if set[i].pinned {
+		for i := 0; i < c.ways; i++ {
+			if c.flags[base+i]&flagPinned != 0 {
 				continue
 			}
-			if victim < 0 || set[i].lru < set[victim].lru {
+			if victim < 0 || c.lru[base+i] < c.lru[base+victim] {
 				victim = i
 			}
 		}
 		if victim < 0 {
 			panic(fmt.Sprintf("cache %s: all ways pinned in set of %#x", c.cfg.Name, addr))
 		}
-		l = &set[victim]
+		vk = c.keys[base+victim]
 	}
-	if l.valid {
-		ev = Eviction{Addr: c.reconstruct(addr, l.tag), Dirty: l.dirty}
+	if vk&1 != 0 {
+		dirtyVictim := c.flags[base+victim]&flagDirty != 0
+		ev = Eviction{Addr: c.reconstruct(addr, vk>>1), Dirty: dirtyVictim}
 		evicted = true
 		c.Stats.Evictions++
-		if l.dirty {
+		if dirtyVictim {
 			c.Stats.DirtyEvicts++
 		}
 	}
 	c.lruClock++
-	*l = line{tag: tag, valid: true, dirty: dirty, lru: c.lruClock}
+	c.keys[base+victim] = key
+	c.lru[base+victim] = c.lruClock
+	var f uint8
+	if dirty {
+		f = flagDirty
+	}
+	c.flags[base+victim] = f
 	c.Stats.Fills++
 	return ev, evicted
 }
@@ -235,17 +251,23 @@ func (c *Cache) reconstruct(addr, tag uint64) uint64 {
 	return (tag<<c.setBits | setIdx) << c.blockBits
 }
 
+// find returns the line index of a resident copy of addr, or -1.
+func (c *Cache) find(addr uint64) int {
+	base, key := c.locate(addr)
+	keys := c.keys[base : base+c.ways : base+c.ways]
+	for i, k := range keys {
+		if k == key {
+			return base + i
+		}
+	}
+	return -1
+}
+
 // Contains reports presence without touching LRU or stats. The RSR file
 // uses this to check whether a page's blocks are already on-chip, and the
 // Merkle walker to find the first cached tree node.
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.find(addr) >= 0
 }
 
 // SetDirty marks a resident block dirty without counting an access,
@@ -253,24 +275,18 @@ func (c *Cache) Contains(addr uint64) bool {
 // its "lazy" handling of on-chip blocks (Section 4.2): the block is simply
 // dirtied so its eventual natural write-back re-encrypts it.
 func (c *Cache) SetDirty(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].dirty = true
-			return true
-		}
+	if i := c.find(addr); i >= 0 {
+		c.flags[i] |= flagDirty
+		return true
 	}
 	return false
 }
 
 // CleanLine clears the dirty bit of a resident block, reporting presence.
 func (c *Cache) CleanLine(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].dirty = false
-			return true
-		}
+	if i := c.find(addr); i >= 0 {
+		c.flags[i] &^= flagDirty
+		return true
 	}
 	return false
 }
@@ -279,13 +295,12 @@ func (c *Cache) CleanLine(addr uint64) bool {
 // Pinned blocks are removed too (the pin is a replacement hint, not a lock
 // against explicit invalidation).
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			present, dirty = true, set[i].dirty
-			set[i] = line{}
-			return present, dirty
-		}
+	if i := c.find(addr); i >= 0 {
+		dirty = c.flags[i]&flagDirty != 0
+		c.keys[i] = 0
+		c.lru[i] = 0
+		c.flags[i] = 0
+		return true, dirty
 	}
 	return false, false
 }
@@ -295,24 +310,18 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // victim write-backs) churns the cache — the structural analogue of an
 // MSHR holding the line. Reports whether the block was present.
 func (c *Cache) Pin(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].pinned = true
-			return true
-		}
+	if i := c.find(addr); i >= 0 {
+		c.flags[i] |= flagPinned
+		return true
 	}
 	return false
 }
 
 // Unpin releases a pinned block, reporting whether it was present.
 func (c *Cache) Unpin(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].pinned = false
-			return true
-		}
+	if i := c.find(addr); i >= 0 {
+		c.flags[i] &^= flagPinned
+		return true
 	}
 	return false
 }
@@ -320,13 +329,11 @@ func (c *Cache) Unpin(addr uint64) bool {
 // ForEach visits every resident block. Whole-memory re-encryption and the
 // functional flush path use it.
 func (c *Cache) ForEach(fn func(addr uint64, dirty bool)) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			l := c.sets[si][wi]
-			if l.valid {
-				addr := (l.tag<<c.setBits | uint64(si)) << c.blockBits
-				fn(addr, l.dirty)
-			}
+	for li, k := range c.keys {
+		if k&1 != 0 {
+			si := uint64(li / c.ways)
+			addr := ((k>>1)<<c.setBits | si) << c.blockBits
+			fn(addr, c.flags[li]&flagDirty != 0)
 		}
 	}
 }

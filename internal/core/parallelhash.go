@@ -1,0 +1,42 @@
+package core
+
+import "sync"
+
+// parallelMac runs fn(i) for every i in [0, n) on up to workers goroutines
+// (the harness.parallelFor idiom: a per-call bounded pool whose workers
+// terminate when the index channel closes, so every goroutine provably
+// exits before the call returns). Each index is claimed by exactly one
+// worker, so fn bodies may write to the i-th slot of shared slices without
+// synchronization — the partitioned-index discipline the sharedstate
+// analyzer blesses.
+//
+// The MAC primitives this feeds (PadGen.MAC, sha1sum.MAC) touch only
+// read-only receiver state and per-call stack buffers, which is what makes
+// hashing independent Merkle levels concurrently safe.
+func parallelMac(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

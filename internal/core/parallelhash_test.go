@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"secmem/internal/config"
+	"secmem/internal/dram"
+)
+
+// runHashWorkload drives one deterministic functional workload — scattered
+// writes, cache churn, an optional bit-flip attack, and read-back — and
+// returns the read-back bytes plus the tamper log. Everything observable
+// must be independent of cfg.HashWorkers.
+func runHashWorkload(t *testing.T, cfg config.SystemConfig, seed int64, attack bool) ([]byte, []Tamper, Stats) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := mustSystem(t, cfg)
+	var addrs []uint64
+	for i := 0; i < 48; i++ {
+		a := uint64(rng.Intn(4096)) * 64
+		data := make([]byte, 64)
+		rng.Read(data)
+		if _, err := m.WriteBytes(uint64(i)*500, a, data); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		addrs = append(addrs, a)
+	}
+	m.Drain(100_000)
+	// Churn the metadata caches so read-back walks real off-chip chains.
+	for i := uint64(0); i < 64; i++ {
+		m.ReadBytes(150_000+i*300, 0x40000+i*4096, make([]byte, 8))
+	}
+	if attack {
+		atk := dram.NewAttacker(m.Controller().DRAM())
+		atk.FlipBit(addrs[rng.Intn(len(addrs))], rng.Intn(512))
+	}
+	var out bytes.Buffer
+	buf := make([]byte, 64)
+	for i, a := range addrs {
+		m.ReadBytes(uint64(200_000+i*500), a, buf)
+		out.Write(buf)
+	}
+	return out.Bytes(), m.Controller().Tampers(), m.Controller().Stats
+}
+
+// TestHashWorkersByteIdentical pins the gathered parallel verification path
+// (HashWorkers > 1) to the serial recursive walk: same plaintext read-back,
+// same tamper log entries in the same order, same statistics — with and
+// without an active attacker.
+func TestHashWorkersByteIdentical(t *testing.T) {
+	tampersSeen := 0
+	for _, attack := range []bool{false, true} {
+		for seed := int64(1); seed <= 6; seed++ {
+			cfg := smallCfg()
+			serialBytes, serialTampers, serialStats := runHashWorkload(t, cfg, seed, attack)
+			for _, workers := range []int{2, 4} {
+				cfg.HashWorkers = workers
+				gotBytes, gotTampers, gotStats := runHashWorkload(t, cfg, seed, attack)
+				if !bytes.Equal(gotBytes, serialBytes) {
+					t.Fatalf("seed %d attack=%v workers=%d: read-back differs from serial", seed, attack, workers)
+				}
+				if !reflect.DeepEqual(gotTampers, serialTampers) {
+					t.Fatalf("seed %d attack=%v workers=%d: tamper log %v != serial %v", seed, attack, workers, gotTampers, serialTampers)
+				}
+				if gotStats != serialStats {
+					t.Fatalf("seed %d attack=%v workers=%d: stats diverge:\n%+v\n%+v", seed, attack, workers, gotStats, serialStats)
+				}
+			}
+			if attack {
+				tampersSeen += len(serialTampers)
+			}
+		}
+	}
+	if tampersSeen == 0 {
+		t.Fatal("no attack seed produced a tamper; the parallel compare/tamper path is unexercised")
+	}
+}
+
+// TestHashWorkersReencryptAll exercises the parallel level batches of
+// rebuildTree/reencryptAll: a monolithic 8-bit counter wraps, forcing a
+// whole-memory re-encryption plus tree rebuild, and the resulting backing
+// store must read back identically for every worker count.
+func TestHashWorkersReencryptAll(t *testing.T) {
+	base := smallCfg()
+	base.Enc = config.EncCounterMono
+	base.MonoCounterBits = 8
+	run := func(workers int) ([]byte, uint64) {
+		cfg := base
+		cfg.HashWorkers = workers
+		m := mustSystem(t, cfg)
+		data := make([]byte, 64)
+		// 300 write-backs of one block wrap its 8-bit counter at least once.
+		for i := 0; i < 300; i++ {
+			data[0] = byte(i)
+			if _, err := m.WriteBytes(uint64(i)*2000, 4096, data); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			m.WriteBytes(uint64(i)*2000+900, uint64(64*(i%32)), data)
+			m.Drain(uint64(i)*2000 + 1500)
+		}
+		var out bytes.Buffer
+		buf := make([]byte, 64)
+		for i := 0; i < 32; i++ {
+			m.ReadBytes(1_000_000+uint64(i)*500, uint64(64*i), buf)
+			out.Write(buf)
+		}
+		m.ReadBytes(1_100_000, 4096, buf)
+		out.Write(buf)
+		return out.Bytes(), m.Controller().Stats.FullReencEvents
+	}
+	serial, events := run(0)
+	if events == 0 {
+		t.Fatal("workload did not trigger a full re-encryption; the parallel rebuild path is unexercised")
+	}
+	if tampered := func() bool { _, n := run(0); return n == 0 }(); tampered {
+		t.Fatal("second serial run lost the re-encryption event")
+	}
+	for _, workers := range []int{2, 4} {
+		got, gotEvents := run(workers)
+		if gotEvents != events {
+			t.Fatalf("workers=%d: %d re-encryption events, serial had %d", workers, gotEvents, events)
+		}
+		if !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d: post-re-encryption read-back differs from serial", workers)
+		}
+	}
+}
+
+// TestParallelMacPartition checks the pool helper itself: every index is
+// visited exactly once for worker counts below, at, and above n.
+func TestParallelMacPartition(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 64} {
+		const n = 37
+		var hits [n]int32
+		parallelMac(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+	parallelMac(4, 0, func(i int) { t.Fatalf("fn called for n=0") })
+}

@@ -406,13 +406,20 @@ func (s *Store) CacheLookup(addr uint64, now sim.Time) (res LookupResult, readyA
 		return Miss, 0, ctrBlock
 	}
 	if s.cache.Lookup(ctrBlock, false) {
-		if t, ok := s.pending[ctrBlock]; ok {
-			if t > now {
-				s.Stats.HalfMisses++
-				s.mHalfMiss.Inc()
-				return HalfMiss, t, ctrBlock
+		// Skip the map probe outright when nothing is in flight — the
+		// common case once fetches complete. No bulk staleness sweep here:
+		// lookups are not monotone in now (background RSR fetches and
+		// write-backs probe at earlier timestamps), so an entry that looks
+		// stale to one access can still be a half-miss to another.
+		if len(s.pending) != 0 {
+			if t, ok := s.pending[ctrBlock]; ok {
+				if t > now {
+					s.Stats.HalfMisses++
+					s.mHalfMiss.Inc()
+					return HalfMiss, t, ctrBlock
+				}
+				delete(s.pending, ctrBlock)
 			}
-			delete(s.pending, ctrBlock)
 		}
 		s.Stats.Hits++
 		s.mHit.Inc()

@@ -83,11 +83,18 @@ type CPU struct {
 	retire   sim.Time // sub-ticks: pacing of the in-order retire stage
 	index    uint64   // instructions dispatched so far
 
-	// memops tracks in-flight memory instructions' (index, retire-ready in
-	// sub-ticks) for the ROB-occupancy constraint.
-	memops []memop
-	// mshr tracks outstanding-miss completion times (cycles).
-	mshr []sim.Time
+	// memops is a fixed-capacity ring of in-flight memory instructions'
+	// (index, retire-ready in sub-ticks) for the ROB-occupancy constraint.
+	// At most ROBSize memops are in flight, so the ring never grows — the
+	// run loop stays allocation-free (the hotpathalloc gate).
+	memops        []memop
+	moHead, moLen int
+	moMask        int
+	// mshr is a fixed-capacity ring of outstanding-miss completion times
+	// (cycles); occupancy is bounded by the MSHR count.
+	mshr          []sim.Time
+	msHead, msLen int
+	msMask        int
 
 	lastLoadData sim.Time // cycles: when the latest load's data became usable
 
@@ -99,9 +106,23 @@ type memop struct {
 	retireSub sim.Time
 }
 
+// ringCap rounds n up to a power of two so ring indices wrap with a mask.
+func ringCap(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
 // New builds a core over a memory system.
 func New(cfg config.SystemConfig, mem Memory) *CPU {
-	return &CPU{cfg: cfg, mem: mem}
+	c := &CPU{cfg: cfg, mem: mem}
+	c.memops = make([]memop, ringCap(cfg.ROBSize))
+	c.moMask = len(c.memops) - 1
+	c.mshr = make([]sim.Time, ringCap(cfg.MSHRs))
+	c.msMask = len(c.mshr) - 1
+	return c
 }
 
 func (c *CPU) subPerInstr() sim.Time { return SubTicks / sim.Time(c.cfg.IssueWidth) }
@@ -111,9 +132,13 @@ func (c *CPU) subPerInstr() sim.Time { return SubTicks / sim.Time(c.cfg.IssueWid
 // can hold retirement back, so only they are tracked.
 func (c *CPU) ensureWindow(i uint64) {
 	rob := uint64(c.cfg.ROBSize)
-	for len(c.memops) > 0 && c.memops[0].idx+rob <= i {
-		op := c.memops[0]
-		c.memops = c.memops[1:]
+	for c.moLen > 0 {
+		op := c.memops[c.moHead]
+		if op.idx+rob > i {
+			break
+		}
+		c.moHead = (c.moHead + 1) & c.moMask
+		c.moLen--
 		if op.retireSub > c.dispatch {
 			c.dispatch = op.retireSub
 		}
@@ -127,7 +152,8 @@ func (c *CPU) noteRetire(idx uint64, readySub sim.Time) {
 		readySub = c.retire + c.subPerInstr()
 	}
 	c.retire = readySub
-	c.memops = append(c.memops, memop{idx: idx, retireSub: readySub})
+	c.memops[(c.moHead+c.moLen)&c.moMask] = memop{idx: idx, retireSub: readySub}
+	c.moLen++
 }
 
 // Run executes up to maxInstructions from src and returns the result.
@@ -163,9 +189,10 @@ func (c *CPU) Run(src Source, maxInstructions uint64) Result {
 		}
 		// MSHR bound: a full miss file stalls the next miss until the
 		// oldest completes.
-		if len(c.mshr) >= c.cfg.MSHRs {
-			oldest := c.mshr[0]
-			c.mshr = c.mshr[1:]
+		if c.msLen >= c.cfg.MSHRs {
+			oldest := c.mshr[c.msHead]
+			c.msHead = (c.msHead + 1) & c.msMask
+			c.msLen--
 			if oldest > issue {
 				issue = oldest
 			}
@@ -174,7 +201,8 @@ func (c *CPU) Run(src Source, maxInstructions uint64) Result {
 		r := c.mem.Access(issue, ev.Addr, ev.Write)
 		if r.L2Miss {
 			c.res.L2Misses++
-			c.mshr = append(c.mshr, r.DataReady)
+			c.mshr[(c.msHead+c.msLen)&c.msMask] = r.DataReady
+			c.msLen++
 		}
 
 		dataReady, retireReady := c.policyTimes(r)
@@ -194,7 +222,8 @@ func (c *CPU) Run(src Source, maxInstructions uint64) Result {
 	if c.retire > end {
 		end = c.retire
 	}
-	for _, op := range c.memops {
+	for i := 0; i < c.moLen; i++ {
+		op := c.memops[(c.moHead+i)&c.moMask]
 		if op.retireSub > end {
 			end = op.retireSub
 		}

@@ -50,6 +50,14 @@ type Options struct {
 	// off for speed; the speed benchmarks turn it on to measure the
 	// crypto kernels under a realistic access stream.
 	Functional bool
+	// Shards selects the sharded sim core (see shard.go): zero keeps the
+	// classic single-machine serial model; any positive value runs the
+	// ShardSlices-way address-sliced model on that many worker
+	// goroutines. The sliced model's results are byte-identical for every
+	// positive Shards value — workers only change wall time — but differ
+	// from the serial model's (the slices have private caches and trees),
+	// so goldens pin the two models separately.
+	Shards int
 }
 
 // DefaultOptions returns a campaign sized for interactive use.
@@ -118,6 +126,10 @@ type Runner struct {
 	mu        sync.Mutex
 	baselines map[string]float64
 	tableErr  error
+
+	// mergeNanos is the wall time of the last sharded run's merge fold;
+	// see MergeNanos.
+	mergeNanos int64
 }
 
 // noteTableErr records the first malformed-figure-row error. Figure tables
@@ -177,6 +189,9 @@ func (r *Runner) Run(bench string, cfg config.SystemConfig) RunOut {
 // accumulate across successive runs sharing a registry; gauges reflect the
 // latest run.
 func (r *Runner) RunObserved(bench string, cfg config.SystemConfig, obs Obs) RunOut {
+	if r.Opt.Shards > 0 {
+		return r.runSharded(bench, cfg, obs)
+	}
 	if r.Opt.Functional {
 		cfg.Functional = true
 	}
@@ -209,6 +224,13 @@ func (r *Runner) RunObserved(bench string, cfg config.SystemConfig, obs Obs) Run
 		// nothing useful during a freeze).
 		res.Cycles += mem.Controller().Stats.FreezeCycles
 	}
+	return collectRunOut(bench, cfg, mem, res)
+}
+
+// collectRunOut assembles a RunOut from a finished machine. Shared by the
+// serial path and the sharded core (which collects one per slice and
+// merges).
+func collectRunOut(bench string, cfg config.SystemConfig, mem *core.MemSystem, res cpu.Result) RunOut {
 	out := RunOut{
 		Bench:   bench,
 		Scheme:  cfg.SchemeName(),
@@ -312,7 +334,14 @@ func (r *Runner) workerCount() int {
 
 // parallelFor runs fn(0..n-1) across a bounded worker pool.
 func (r *Runner) parallelFor(n int, fn func(i int)) {
-	workers := r.workerCount()
+	parallelDo(r.workerCount(), n, fn)
+}
+
+// parallelDo runs fn(0..n-1) on up to workers goroutines. Which worker runs
+// which index is scheduler-dependent; callers must write results into
+// per-index slots so the outcome is independent of the assignment (the
+// sharded core and the campaign fan-out both do).
+func parallelDo(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"secmem/internal/config"
+	"secmem/internal/core"
+	"secmem/internal/obsv"
+	"secmem/internal/trace"
+)
+
+// shardedRun executes one sharded run at the given worker count.
+func shardedRun(t *testing.T, workers int, functional bool) RunOut {
+	t.Helper()
+	r := New(Options{Instructions: 120_000, Seed: 1, Shards: workers, Functional: functional})
+	return r.Run("swim", config.Default())
+}
+
+// TestShardedDeterministicAcrossWorkerCounts is the core guarantee: the
+// worker count changes wall time only, never a simulated number.
+func TestShardedDeterministicAcrossWorkerCounts(t *testing.T) {
+	want := shardedRun(t, 1, false)
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0), ShardSlices + 3} {
+		got := shardedRun(t, workers, false)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d result differs from shards=1:\n%+v\nvs\n%+v", workers, got, want)
+		}
+	}
+}
+
+func TestShardedDeterministicFunctional(t *testing.T) {
+	want := shardedRun(t, 1, true)
+	got := shardedRun(t, 4, true)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("functional sharded run differs across worker counts:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestShardedInstructionConservation: routing must neither lose nor invent
+// instructions — the per-slice budgets sum to the requested count.
+func TestShardedInstructionConservation(t *testing.T) {
+	const total = 250_000
+	r := New(Options{Instructions: total, Seed: 3, Shards: 2})
+	out := r.Run("mcf", config.Default())
+	if out.CPU.Instructions != total {
+		t.Fatalf("merged instruction count %d, want %d", out.CPU.Instructions, total)
+	}
+}
+
+// TestRouteStreamCoversEveryEvent replays the routing against a direct walk
+// of the same generator: every event must land in the slice its address
+// maps to, in program order.
+func TestRouteStreamCoversEveryEvent(t *testing.T) {
+	cfg := config.Default()
+	const total = 50_000
+	gen := trace.NewGenerator(trace.Get("gcc"), 7)
+	queues, budget := routeStream(gen, cfg, total)
+
+	ref := trace.NewGenerator(trace.Get("gcc"), 7)
+	pageBytes := uint64(cfg.PageBlocks) * core.BlockSize
+	var done uint64
+	var wantBudget [ShardSlices]uint64
+	perSlice := make([][]uint64, ShardSlices)
+	for done < total {
+		ev, ok := ref.Next()
+		if !ok {
+			break
+		}
+		s := sliceOf(ev.Addr, pageBytes)
+		perSlice[s] = append(perSlice[s], ev.Addr)
+		n := uint64(ev.NonMemBefore)
+		if n >= total-done {
+			wantBudget[s] += total - done
+			break
+		}
+		wantBudget[s] += n + 1
+		done += n + 1
+	}
+	var sum uint64
+	for s := 0; s < ShardSlices; s++ {
+		if budget[s] != wantBudget[s] {
+			t.Fatalf("slice %d budget %d, want %d", s, budget[s], wantBudget[s])
+		}
+		sum += budget[s]
+		src := &calSource{queues[s]}
+		for i, wantAddr := range perSlice[s] {
+			ev, ok := src.Next()
+			if !ok {
+				t.Fatalf("slice %d queue ended at %d of %d events", s, i, len(perSlice[s]))
+			}
+			if ev.Addr != wantAddr {
+				t.Fatalf("slice %d event %d addr %#x, want %#x", s, i, ev.Addr, wantAddr)
+			}
+		}
+		if _, ok := src.Next(); ok {
+			t.Fatalf("slice %d queue has extra events", s)
+		}
+	}
+	if sum != total {
+		t.Fatalf("budgets sum to %d, want %d", sum, total)
+	}
+}
+
+// TestMergeCtlCoversAllFields catches a future core.Stats field that the
+// hand-written merge forgets: merging two all-ones structs must yield
+// all-twos in every field.
+func TestMergeCtlCoversAllFields(t *testing.T) {
+	var a, b core.Stats
+	fill := func(s *core.Stats) {
+		v := reflect.ValueOf(s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Kind() != reflect.Uint64 {
+				t.Fatalf("core.Stats field %s has kind %s; extend the merge test", v.Type().Field(i).Name, f.Kind())
+			}
+			f.SetUint(1)
+		}
+	}
+	fill(&a)
+	fill(&b)
+	m := mergeCtl(a, b)
+	v := reflect.ValueOf(m)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Uint() != 2 {
+			t.Fatalf("mergeCtl drops field %s", v.Type().Field(i).Name)
+		}
+	}
+}
+
+// TestShardedProbeMerge: the merged time series a sharded run publishes
+// must be byte-identical across worker counts, sample for sample — the
+// /timeseries.json contract for sharded servers.
+func TestShardedProbeMerge(t *testing.T) {
+	render := func(workers int) []byte {
+		r := New(Options{Instructions: 150_000, Seed: 1, Shards: workers})
+		smp := obsv.NewSampler(5000, 0)
+		reg := obsv.NewRegistry()
+		r.RunObserved("swim", config.Default(), Obs{Reg: reg, Smp: smp})
+		var buf bytes.Buffer
+		if err := smp.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	if len(serial) == 0 {
+		t.Fatal("empty time series")
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0) + 1} {
+		if got := render(workers); !bytes.Equal(serial, got) {
+			t.Fatalf("shards=%d time series differs from shards=1:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
+
+// TestShardedRegistryMergeDeterministic: merged registry snapshots are
+// identical across worker counts too.
+func TestShardedRegistryMergeDeterministic(t *testing.T) {
+	snap := func(workers int) obsv.Snapshot {
+		r := New(Options{Instructions: 100_000, Seed: 2, Shards: workers})
+		reg := obsv.NewRegistry()
+		r.RunObserved("swim", config.Default(), Obs{Reg: reg})
+		return reg.Snapshot()
+	}
+	if a, b := snap(1), snap(3); !reflect.DeepEqual(a, b) {
+		t.Fatalf("registry snapshots differ across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -54,6 +54,11 @@ func TestHotpathVerdictsMatchAllocsPerRun(t *testing.T) {
 		{"secmem/internal/gf128.GHASHTable8", func() { blk = gf128.GHASHTable8(&pt8, aad, ct) }},
 		{"(*secmem/internal/aescipher.Cipher).Encrypt", func() { cipher.Encrypt(blk[:], blk[:]) }},
 		{"(*secmem/internal/gcmmode.PadGen).BlockPad", func() { _ = pg.BlockPad(0x1000, 7) }},
+		{"(*secmem/internal/gcmmode.PadGen).BlockPads", func() {
+			var pads [4 * gcmmode.MemBlockSize]byte
+			var ctrs [4]uint64
+			pg.BlockPads(pads[:], 0x1000, ctrs[:])
+		}},
 		{"(*secmem/internal/gcmmode.PadGen).AuthPad", func() { _ = pg.AuthPad(0x1000, 7) }},
 		{"(*secmem/internal/gcmmode.PadGen).MAC", func() { _, _ = pg.MAC(ct, 0x1000, 7, 64) }},
 		{"(*secmem/internal/gcmmode.AEAD).Seal", func() { _ = aead.Seal(sealBuf, nonce, plaintext, aad) }},

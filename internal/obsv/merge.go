@@ -1,0 +1,185 @@
+package obsv
+
+import "sort"
+
+// Absorb folds src into r using the sharded-merge discipline (see
+// ShardedRegistry.Merge): counters add, gauges keep the maximum of set
+// values, histograms merge bucket-wise. The sharded sim core uses it to
+// land a run's merged shard metrics in the caller-provided registry without
+// replacing it (registries accumulate across runs). Call only after the
+// goroutines writing src are joined; no-op when either side is nil.
+func (r *Registry) Absorb(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for _, name := range src.CounterNames() {
+		r.Counter(name).Add(src.counters[name].v)
+	}
+	for _, name := range src.GaugeNames() {
+		v := src.gauges[name].v
+		if g, ok := r.gauges[name]; ok {
+			if v > g.v {
+				g.Set(v)
+			}
+			continue
+		}
+		r.Gauge(name).Set(v)
+	}
+	for _, name := range src.HistogramNames() {
+		v := src.hists[name]
+		if v.count == 0 {
+			continue
+		}
+		h := r.Histogram(name)
+		for i, n := range v.buckets {
+			h.buckets[i] += n
+		}
+		if h.count == 0 || v.min < h.min {
+			h.min = v.min
+		}
+		if v.max > h.max {
+			h.max = v.max
+		}
+		h.count += v.count
+		h.sum += v.sum
+	}
+}
+
+// Capacity reports the sampler's ring capacity in samples (zero for nil).
+// The sharded runner uses it to give every shard a ring shaped like the
+// caller's.
+func (s *Sampler) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// Load replaces the sampler's (empty) ring with an already-merged time
+// series, after which Export, WriteJSON, WriteCSV, and EmitTrace serve the
+// loaded samples. This is how a sharded run's merged trajectory lands in
+// the sampler the caller attached (and the live server polls): the shards
+// sample into private rings, MergeTimeSeries combines them, Load publishes
+// the result. Panics if the sampler has already recorded samples — Load is
+// a publication step, not an append. The ring grows to fit if the merged
+// series is larger than the configured capacity.
+func (s *Sampler) Load(ts TimeSeries) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total > 0 {
+		panic("obsv: Load on a sampler that has already sampled")
+	}
+	s.frozen = true
+	s.names = append([]string(nil), ts.Series...)
+	s.probes = nil
+	if len(ts.Samples) > s.capacity {
+		s.capacity = len(ts.Samples)
+	}
+	s.cycles = make([]uint64, s.capacity)
+	s.data = make([]float64, s.capacity*len(s.names))
+	for i, smp := range ts.Samples {
+		s.cycles[i] = smp.Cycle
+		copy(s.data[i*len(s.names):(i+1)*len(s.names)], smp.Values)
+	}
+	s.head = len(ts.Samples) % s.capacity
+	s.count = len(ts.Samples)
+	s.total = uint64(len(ts.Samples)) + ts.Overwritten
+	if n := len(ts.Samples); n > 0 {
+		s.next = ts.Samples[n-1].Cycle + 1
+	}
+}
+
+// GaugeSeries classifies the series names whose cross-shard aggregate is a
+// maximum rather than a sum: instantaneous utilizations, rates, and
+// occupancies. Everything else (cumulative event counts) sums. The set
+// matches Controller.RegisterProbes and the ShardedRegistry gauge
+// discipline.
+func GaugeSeries(name string) bool {
+	switch name {
+	case "bus.util", "dram.util", "ctrcache.hitrate", "rsr.occupancy":
+		return true
+	}
+	return false
+}
+
+// MergeTimeSeries combines per-shard time series into one, deterministic in
+// shard-index order. All inputs must share the interval and series set
+// (they come from identically-configured samplers). The merged series
+// covers the union of sample cycles; a shard that finished before a given
+// cycle contributes its final row (its counters have stopped moving), and a
+// shard whose first sample is later contributes zeros. Per cycle, series
+// for which gauge(name) is true take the maximum across shards, the rest
+// sum. gauge may be nil, meaning "everything sums".
+func MergeTimeSeries(shards []TimeSeries, gauge func(name string) bool) TimeSeries {
+	out := TimeSeries{Series: []string{}, Samples: []Sample{}}
+	live := shards[:0:0]
+	for _, ts := range shards {
+		if len(ts.Samples) > 0 {
+			live = append(live, ts)
+		}
+		out.Overwritten += ts.Overwritten
+	}
+	if len(live) == 0 {
+		if len(shards) > 0 {
+			out.IntervalCycles = shards[0].IntervalCycles
+			out.Series = append(out.Series, shards[0].Series...)
+		}
+		return out
+	}
+	out.IntervalCycles = live[0].IntervalCycles
+	out.Series = append(out.Series, live[0].Series...)
+	for _, ts := range live[1:] {
+		if ts.IntervalCycles != out.IntervalCycles || len(ts.Series) != len(out.Series) {
+			panic("obsv: merging time series from differently-configured samplers")
+		}
+		for i, n := range ts.Series {
+			if n != out.Series[i] {
+				panic("obsv: merging time series with different series sets")
+			}
+		}
+	}
+	// Union of sample cycles, sorted.
+	seen := map[uint64]bool{}
+	var cycles []uint64
+	for _, ts := range live {
+		for _, smp := range ts.Samples {
+			if !seen[smp.Cycle] {
+				seen[smp.Cycle] = true
+				cycles = append(cycles, smp.Cycle)
+			}
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	// Walk all shards in lockstep, carrying each one's last row forward.
+	pos := make([]int, len(live))
+	ncols := len(out.Series)
+	for _, cyc := range cycles {
+		row := make([]float64, ncols)
+		for si, ts := range live {
+			for pos[si] < len(ts.Samples) && ts.Samples[pos[si]].Cycle <= cyc {
+				pos[si]++
+			}
+			if pos[si] == 0 {
+				continue // shard hasn't sampled yet: all-zero contribution
+			}
+			vals := ts.Samples[pos[si]-1].Values
+			for ci := 0; ci < ncols; ci++ {
+				if gauge != nil && gauge(out.Series[ci]) {
+					// Registered gauge series are utilizations and
+					// occupancies, never negative, so max-vs-zero is safe
+					// even for shards that haven't sampled yet.
+					if vals[ci] > row[ci] {
+						row[ci] = vals[ci]
+					}
+				} else {
+					row[ci] += vals[ci]
+				}
+			}
+		}
+		out.Samples = append(out.Samples, Sample{Cycle: cyc, Values: row})
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package sim
+
+// Calendar is a deterministic calendar queue: a bucketed priority queue
+// keyed on cycle timestamps, the classic O(1) event-list structure for
+// discrete-event simulators. Events with equal keys dequeue in insertion
+// order (FIFO), so a simulation fed from a Calendar is reproducible
+// regardless of how ties arise — the property the sharded sim core's
+// determinism argument rests on (DESIGN.md §15).
+//
+// Keys map to buckets of fixed width; a "year" is one sweep of the bucket
+// array. Dequeue scans from the current bucket, consuming only events that
+// fall inside the bucket's current-year window, and falls back to a direct
+// minimum search when the queue is sparse (all events far in the future).
+// Each bucket keeps a head index instead of shifting its slice, so dequeue
+// is O(1) and a bucket's capacity is reused year after year; the bucket
+// array doubles when occupancy grows.
+//
+// Calendar is not safe for concurrent use; in the sharded core each slice
+// owns one exclusively (the sharedstate analyzer enforces the partition).
+type Calendar[T any] struct {
+	buckets []calBucket[T]
+	shift   uint // log2 of the key span per bucket
+	mask    int  // len(buckets)-1; bucket count is a power of two
+	n       int
+	growAt  int // occupancy that triggers a bucket-array doubling
+
+	cur    int  // bucket the dequeue sweep is standing on
+	curTop Time // exclusive upper key bound of buckets[cur] in this year
+}
+
+type calEntry[T any] struct {
+	key Time
+	val T
+}
+
+// calBucket is one bucket: entries[head:] are live, sorted by key with
+// equal keys in arrival order. Consumed entries advance head; when the
+// bucket empties it resets to entries[:0], keeping its capacity.
+type calBucket[T any] struct {
+	head    int
+	entries []calEntry[T]
+}
+
+// minCalBuckets keeps the sweep cheap for tiny queues while still
+// exercising the wrap-around logic.
+const minCalBuckets = 8
+
+// calLoad is the average bucket occupancy that triggers growth. Occupancy
+// only governs the straggler insertion walk — in-order pushes append and
+// head-index pops are O(1) regardless — so a generous factor trades a
+// little walk length for far fewer redistributions.
+const calLoad = 16
+
+// NewCalendar builds an empty queue. width is the key span covered by one
+// bucket, rounded up to a power of two so bucket indexing is a shift; a
+// width near the mean inter-event gap keeps operations O(1). Widths below
+// 1 are clamped to 1. The width only steers performance — dequeue order is
+// identical for every width. sizeHint, when positive, pre-sizes the bucket
+// array and carves all initial bucket capacity from one backing allocation,
+// so bulk loads (the sharded runner buffers a slice's whole stream) never
+// pay for incremental growth.
+func NewCalendar[T any](width Time, sizeHint int) *Calendar[T] {
+	var shift uint
+	for Time(1)<<shift < width {
+		shift++
+	}
+	c := &Calendar[T]{shift: shift}
+	nb := minCalBuckets
+	for nb*calLoad < sizeHint {
+		nb <<= 1
+	}
+	c.reset(nb)
+	if sizeHint > 0 {
+		// One backing array, carved into equal per-bucket capacities with
+		// slack for uneven key distributions; a bucket that outgrows its
+		// chunk falls back to an ordinary append-copy.
+		per := sizeHint/nb + 8
+		backing := make([]calEntry[T], nb*per)
+		for i := range c.buckets {
+			c.buckets[i].entries = backing[i*per : i*per : (i+1)*per]
+		}
+	}
+	return c
+}
+
+func (c *Calendar[T]) reset(buckets int) {
+	c.buckets = make([]calBucket[T], buckets)
+	c.mask = buckets - 1
+	c.growAt = buckets * calLoad
+	c.cur = 0
+	c.curTop = Time(1) << c.shift
+}
+
+// Len reports the number of queued events.
+func (c *Calendar[T]) Len() int { return c.n }
+
+// Push enqueues val at key. Keys may arrive in any order, including before
+// already-dequeued keys; such stragglers dequeue at the next opportunity.
+func (c *Calendar[T]) Push(key Time, val T) {
+	if c.n == c.growAt {
+		c.grow()
+	}
+	b := &c.buckets[int(key>>c.shift)&c.mask]
+	// Entries stay sorted by key with a strictly-greater insertion walk, so
+	// equal keys keep arrival order — the FIFO tie-break needs no sequence
+	// numbers. Pushes are typically in nondecreasing key order, making this
+	// an append; the walk only runs for stragglers, and never crosses head
+	// into the consumed region.
+	q := append(b.entries, calEntry[T]{key: key, val: val})
+	for i := len(q) - 1; i > b.head && q[i-1].key > key; i-- {
+		q[i], q[i-1] = q[i-1], q[i]
+	}
+	b.entries = q
+	c.n++
+	// A straggler behind the sweep would wait a whole year; rewind the
+	// sweep so it is picked up immediately.
+	if key < c.curTop-Time(1)<<c.shift {
+		c.cur = int(key>>c.shift) & c.mask
+		c.curTop = (key>>c.shift + 1) << c.shift
+	}
+}
+
+// grow doubles the bucket array, redistributing live entries. Equal keys
+// land in the same bucket in their old order, so growth never perturbs
+// dequeue order.
+func (c *Calendar[T]) grow() {
+	old := c.buckets
+	// Resume the sweep at the smallest queued key so no event is skipped.
+	min, ok := c.minKey(old)
+	c.reset(len(old) * 2)
+	if ok {
+		c.cur = int(min>>c.shift) & c.mask
+		c.curTop = (min>>c.shift + 1) << c.shift
+	}
+	for oi := range old {
+		for _, e := range old[oi].entries[old[oi].head:] {
+			b := &c.buckets[int(e.key>>c.shift)&c.mask]
+			q := append(b.entries, e)
+			for i := len(q) - 1; i > 0 && q[i-1].key > e.key; i-- {
+				q[i], q[i-1] = q[i-1], q[i]
+			}
+			b.entries = q
+		}
+	}
+}
+
+func (c *Calendar[T]) minKey(buckets []calBucket[T]) (Time, bool) {
+	var min Time
+	found := false
+	for bi := range buckets {
+		for _, e := range buckets[bi].entries[buckets[bi].head:] {
+			if !found || e.key < min {
+				min, found = e.key, true
+			}
+		}
+	}
+	return min, found
+}
+
+// Pop dequeues the event with the smallest key, FIFO among equals. It
+// returns the zero value and false when the queue is empty.
+func (c *Calendar[T]) Pop() (val T, key Time, ok bool) {
+	if c.n == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	for sweep := 0; sweep <= len(c.buckets); sweep++ {
+		b := &c.buckets[c.cur]
+		if b.head < len(b.entries) && b.entries[b.head].key < c.curTop {
+			return c.take(b)
+		}
+		c.cur = (c.cur + 1) & c.mask
+		c.curTop += Time(1) << c.shift
+	}
+	// A full sweep found nothing in-window: the queue is sparse. Jump the
+	// sweep to the year of the global minimum and take it directly.
+	min, _ := c.minKey(c.buckets)
+	c.cur = int(min>>c.shift) & c.mask
+	c.curTop = (min>>c.shift + 1) << c.shift
+	return c.take(&c.buckets[c.cur])
+}
+
+// take removes and returns the bucket's head entry.
+func (c *Calendar[T]) take(b *calBucket[T]) (val T, key Time, ok bool) {
+	e := b.entries[b.head]
+	var zero T
+	b.entries[b.head].val = zero // release references for the GC
+	b.head++
+	if b.head == len(b.entries) {
+		b.entries = b.entries[:0]
+		b.head = 0
+	}
+	c.n--
+	return e.val, e.key, true
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// drain pops everything, asserting keys are returned nondecreasing.
+func drain(t *testing.T, c *Calendar[int]) []int {
+	t.Helper()
+	var out []int
+	var last Time
+	for first := true; ; first = false {
+		v, k, ok := c.Pop()
+		if !ok {
+			break
+		}
+		if !first && k < last {
+			t.Fatalf("keys out of order: %d after %d", k, last)
+		}
+		last = k
+		out = append(out, v)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len=%d after drain", c.Len())
+	}
+	return out
+}
+
+func TestCalendarOrdersRandomKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCalendar[int](16, 0)
+	type ev struct {
+		key Time
+		id  int
+	}
+	var ref []ev
+	for i := 0; i < 5000; i++ {
+		k := Time(rng.Intn(4096))
+		c.Push(k, i)
+		ref = append(ref, ev{k, i})
+	}
+	// Reference order: stable sort by key preserves insertion order among
+	// equal keys — exactly the FIFO tie-break Calendar promises.
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].key < ref[j].key })
+	got := drain(t, c)
+	if len(got) != len(ref) {
+		t.Fatalf("popped %d of %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i].id {
+			t.Fatalf("pop %d: got id %d want %d", i, got[i], ref[i].id)
+		}
+	}
+}
+
+func TestCalendarFIFOOnEqualKeys(t *testing.T) {
+	c := NewCalendar[int](8, 0)
+	for i := 0; i < 100; i++ {
+		c.Push(42, i)
+	}
+	got := drain(t, c)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-key pop %d: got %d", i, v)
+		}
+	}
+}
+
+func TestCalendarInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewCalendar[int](4, 0)
+	id := 0
+	popped := 0
+	now := Time(0)
+	for round := 0; round < 2000; round++ {
+		// Monotone event insertion with occasional same-cycle bursts — the
+		// sharded runner's access pattern.
+		now += Time(rng.Intn(3))
+		burst := 1 + rng.Intn(3)
+		for i := 0; i < burst; i++ {
+			c.Push(now, id)
+			id++
+		}
+		if rng.Intn(2) == 0 {
+			if _, _, ok := c.Pop(); ok {
+				popped++
+			}
+		}
+	}
+	popped += len(drain(t, c))
+	if popped != id {
+		t.Fatalf("popped %d of %d pushed", popped, id)
+	}
+}
+
+func TestCalendarSparseFarFutureKeys(t *testing.T) {
+	c := NewCalendar[int](2, 0)
+	keys := []Time{1 << 40, 3, 1 << 20, 900000, 5}
+	for i, k := range keys {
+		c.Push(k, i)
+	}
+	sorted := append([]Time(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, want := range sorted {
+		_, k, ok := c.Pop()
+		if !ok || k != want {
+			t.Fatalf("got key %d ok=%v, want %d", k, ok, want)
+		}
+	}
+}
+
+func TestCalendarStragglerBehindSweep(t *testing.T) {
+	c := NewCalendar[int](1, 0)
+	c.Push(100, 0)
+	if _, k, _ := c.Pop(); k != 100 {
+		t.Fatalf("got %d", k)
+	}
+	// Key far behind the sweep position must still come out before a
+	// larger pending key.
+	c.Push(200, 1)
+	c.Push(2, 2)
+	if v, k, _ := c.Pop(); k != 2 || v != 2 {
+		t.Fatalf("straggler lost: key=%d val=%d", k, v)
+	}
+	if v, k, _ := c.Pop(); k != 200 || v != 1 {
+		t.Fatalf("got key=%d val=%d", k, v)
+	}
+}
+
+func TestCalendarGrowPreservesOrder(t *testing.T) {
+	c := NewCalendar[int](8, 0)
+	var ids []int
+	// Force several doublings with many equal keys in flight.
+	for i := 0; i < 10000; i++ {
+		c.Push(Time(i/64), i)
+		ids = append(ids, i)
+	}
+	got := drain(t, c)
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("pop %d: got %d want %d", i, got[i], ids[i])
+		}
+	}
+}
+
+func TestCalendarEmptyPop(t *testing.T) {
+	c := NewCalendar[int](0, 0) // width clamps to 1
+	if _, _, ok := c.Pop(); ok {
+		t.Fatal("pop on empty succeeded")
+	}
+	c.Push(1, 1)
+	c.Pop()
+	if _, _, ok := c.Pop(); ok {
+		t.Fatal("second pop succeeded")
+	}
+}

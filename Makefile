@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-shard goroutine-audit vet lint lint-bench lint-fix-audit escape-audit escape-audit-check fuzz-smoke bench bench-speed bench-compare trace-smoke metrics-baseline metrics-compare serve-smoke ci
+.PHONY: all build test race race-shard bench-parallel-smoke goroutine-audit vet lint lint-bench lint-fix-audit escape-audit escape-audit-check fuzz-smoke bench bench-speed bench-compare trace-smoke metrics-baseline metrics-compare serve-smoke ci
 
 all: build
 
@@ -14,12 +14,20 @@ race:
 	$(GO) test -race ./...
 
 # Focused race-detector smoke of the parallel machinery: the sharded sim
-# core (worker pool, calendar-queue routing, merge folds, probe/registry
-# merge) and the parallel Merkle-level hashing layer. The full `race`
-# target subsumes it; this one fails fast when a scheduling hazard lands
-# in the concurrency-bearing paths specifically.
+# core (worker pool, pipelined trace front-end, calendar-queue routing,
+# merge folds, probe/registry merge) and the parallel Merkle-level hashing
+# layer. The full `race` target subsumes it; this one fails fast when a
+# scheduling hazard lands in the concurrency-bearing paths specifically.
 race-shard:
-	$(GO) test -race -run 'TestSharded|TestFig4RunToRunDeterminism|TestHashWorkers|TestParallelMac' ./internal/harness ./internal/core
+	$(GO) test -race -run 'TestSharded|TestPipeline|TestCalPool|TestFig4RunToRunDeterminism|TestHashWorkers|TestParallelMac' ./internal/harness ./internal/core
+
+# Parallel-throughput smoke for multi-core CI runners: asserts the sharded
+# end-to-end run at GOMAXPROCS workers is no slower than the serial model
+# and logs the measured speedup. Skips itself on single-CPU hosts, where
+# the sharded core cannot win by construction; the env var opts in because
+# wall-clock assertions are too flaky for the default test suite.
+bench-parallel-smoke:
+	SECMEM_PARALLEL_SMOKE=1 $(GO) test -run TestShardedThroughputBeatsSerial -v ./internal/harness
 
 # Dump every `go` statement in the repository with the termination signal
 # the goroutinelife analyzer recognized, and assert none is signal-less.
@@ -94,8 +102,9 @@ NEW ?= BENCH_speed.new.json
 TOL ?= 0.25
 ETOL ?= 0.5
 PTOL ?= 0.6
+RTOL ?= 0.15
 bench-compare:
-	$(GO) run ./cmd/benchspeed -compare -tol $(TOL) -etol $(ETOL) -ptol $(PTOL) $(OLD) $(NEW)
+	$(GO) run ./cmd/benchspeed -compare -tol $(TOL) -etol $(ETOL) -ptol $(PTOL) -rtol $(RTOL) $(OLD) $(NEW)
 
 # End-to-end observability smoke: run a tiny instrumented simulation with
 # time-series sampling, check the metrics/trace/timeseries artifact shape

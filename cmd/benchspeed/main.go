@@ -5,13 +5,15 @@
 //
 //	benchspeed -out BENCH_speed.json             # measure, write artifact
 //	benchspeed -benchtime 10ms -e2e=false        # quick kernel-only pass (CI smoke)
-//	benchspeed -compare -tol 0.25 -etol 0.5 -ptol 0.6 old.json new.json
+//	benchspeed -compare -tol 0.25 -etol 0.5 -ptol 0.6 -rtol 0.15 old.json new.json
 //
 // Compare mode exits non-zero when any kernel's ns/op in new.json exceeds
-// old.json by more than -tol, or when the serial (-etol) or parallel
+// old.json by more than -tol, when the serial (-etol) or parallel
 // sharded-core (-ptol) end-to-end throughput drops by more than its own
-// tolerance — three independent knobs because the three figures carry very
-// different noise. Campaign seconds and speedup ratios stay informational.
+// tolerance, or when the pipelined front-end's route_overhead_fraction or
+// pipeline_fill_fraction grows by more than -rtol absolute points —
+// independent knobs because the figures carry very different noise.
+// Campaign seconds and speedup ratios stay informational.
 package main
 
 import (
@@ -67,6 +69,16 @@ type EndToEnd struct {
 	// MergeOverheadFraction is shard-merge wall time over total sharded
 	// run time: the serial tail Amdahl charges the parallel core.
 	MergeOverheadFraction float64 `json:"merge_overhead_fraction,omitempty"`
+	// RouteOverheadFraction is the pipelined front-end's serial prefix:
+	// wall time until the first sealed calendar segment reached a slice,
+	// over total sharded run time. Before the pipeline, generation and
+	// routing ran to completion ahead of any simulation (measured at ~0.39
+	// of a one-worker sharded run); now only the first chunk is serial.
+	RouteOverheadFraction float64 `json:"route_overhead_fraction,omitempty"`
+	// PipelineFillFraction is wall time until routing completed, over
+	// total sharded run time: the span during which slice simulation
+	// overlaps generation and routing rather than running free.
+	PipelineFillFraction float64 `json:"pipeline_fill_fraction,omitempty"`
 }
 
 const schemaID = "secmem-bench-speed/v1"
@@ -219,7 +231,7 @@ func measure(benchtime string, e2e bool) (*Artifact, error) {
 		// understates it.
 		workers := runtime.GOMAXPROCS(0)
 		r3 := harness.New(harness.Options{Instructions: 1_000_000, Seed: 1, Shards: workers})
-		var pips, mergeFrac float64
+		var pips, mergeFrac, routeFrac, fillFrac float64
 		for try := 0; try < 3; try++ {
 			t0 = time.Now()
 			pout := r3.Run("swim", config.Default())
@@ -227,6 +239,7 @@ func measure(benchtime string, e2e bool) (*Artifact, error) {
 			if got := float64(pout.CPU.Instructions) / el.Seconds(); got > pips {
 				pips = got
 				mergeFrac = float64(r3.MergeNanos()) / float64(el.Nanoseconds())
+				routeFrac, fillFrac = r3.PipelineStats()
 			}
 		}
 		art.EndToEnd = &EndToEnd{
@@ -235,9 +248,11 @@ func measure(benchtime string, e2e bool) (*Artifact, error) {
 			SimInstrPerSecondParallel: pips,
 			ParallelWorkers:           workers,
 			MergeOverheadFraction:     mergeFrac,
+			RouteOverheadFraction:     routeFrac,
+			PipelineFillFraction:      fillFrac,
 		}
-		fmt.Printf("end-to-end: fig4 campaign %.2fs, %.0f sim instr/s serial, %.0f sim instr/s sharded (%d workers, merge %.2f%%)\n",
-			campaign, ips, pips, workers, mergeFrac*100)
+		fmt.Printf("end-to-end: fig4 campaign %.2fs, %.0f sim instr/s serial, %.0f sim instr/s sharded (%d workers, merge %.2f%%, route overhead %.2f%%, pipeline fill %.2f%%)\n",
+			campaign, ips, pips, workers, mergeFrac*100, routeFrac*100, fillFrac*100)
 	}
 	return art, nil
 }
@@ -274,7 +289,7 @@ func load(path string) (*Artifact, error) {
 // are tight, end-to-end numbers track machine load, and the parallel
 // figure additionally tracks how many CPUs the measuring host actually
 // has. Campaign seconds and speedup ratios stay informational.
-func compare(oldPath, newPath string, tol, etol, ptol float64) error {
+func compare(oldPath, newPath string, tol, etol, ptol, rtol float64) error {
 	oldA, err := load(oldPath)
 	if err != nil {
 		return err
@@ -322,6 +337,24 @@ func compare(oldPath, newPath string, tol, etol, ptol float64) error {
 		}
 		gate("sim_speed", oldA.EndToEnd.SimInstrPerSecond, newA.EndToEnd.SimInstrPerSecond, etol)
 		gate("sim_speed_parallel", oldA.EndToEnd.SimInstrPerSecondParallel, newA.EndToEnd.SimInstrPerSecondParallel, ptol)
+		// Route fractions gate on absolute growth: they are small numbers
+		// (first-chunk prefixes, a few percent) whose relative noise is
+		// huge, but a refactor that reintroduces a route-then-simulate
+		// barrier shows up as tens of points of absolute growth.
+		gateFrac := func(name string, old, new float64) {
+			if old <= 0 && new <= 0 {
+				return
+			}
+			mark := "ok"
+			if new-old > rtol {
+				mark = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-18s %11.2f%% -> %11.2f%%  %s (rtol %+.0f pts)\n",
+				name, old*100, new*100, mark, rtol*100)
+		}
+		gateFrac("route_overhead", oldA.EndToEnd.RouteOverheadFraction, newA.EndToEnd.RouteOverheadFraction)
+		gateFrac("pipeline_fill", oldA.EndToEnd.PipelineFillFraction, newA.EndToEnd.PipelineFillFraction)
 	}
 	if regressions > 0 {
 		return fmt.Errorf("%d figure(s) regressed beyond tolerance", regressions)
@@ -341,6 +374,7 @@ func main() {
 		tol       = flag.Float64("tol", 0.25, "allowed fractional slowdown per kernel in -compare mode")
 		etol      = flag.Float64("etol", 0.5, "allowed fractional serial end-to-end throughput loss in -compare mode")
 		ptol      = flag.Float64("ptol", 0.6, "allowed fractional parallel (sharded-core) throughput loss in -compare mode; looser than -etol because the figure also tracks the measuring host's core count")
+		rtol      = flag.Float64("rtol", 0.15, "allowed absolute growth (in fraction points) of route_overhead_fraction and pipeline_fill_fraction in -compare mode")
 	)
 	flag.Parse()
 
@@ -349,7 +383,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchspeed -compare [-tol F] old.json new.json")
 			os.Exit(2)
 		}
-		if err := compare(flag.Arg(0), flag.Arg(1), *tol, *etol, *ptol); err != nil {
+		if err := compare(flag.Arg(0), flag.Arg(1), *tol, *etol, *ptol, *rtol); err != nil {
 			fmt.Fprintf(os.Stderr, "benchspeed: %v\n", err)
 			os.Exit(1)
 		}

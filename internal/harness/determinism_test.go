@@ -107,9 +107,10 @@ func TestFig4RunToRunDeterminism(t *testing.T) {
 	// byte-identical tables and grids. This is the dynamic check of the
 	// shard.go determinism argument (routing is input-only, slices are
 	// closed systems, merges are order-insensitive folds).
-	runSharded := func(workers int) (string, string) {
+	runSharded := func(workers, routeWorkers int) (string, string) {
 		r := New(Options{Instructions: 200_000, Seed: 1, Functional: true,
-			Benches: []string{"swim", "mcf", "crafty"}, Shards: workers})
+			Benches: []string{"swim", "mcf", "crafty"}, Shards: workers,
+			RouteWorkers: routeWorkers})
 		tbl, data := r.Fig4()
 		raw, err := json.Marshal(data)
 		if err != nil {
@@ -118,9 +119,9 @@ func TestFig4RunToRunDeterminism(t *testing.T) {
 		return tbl.String(), string(raw)
 	}
 	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
-	refTbl, refRaw := runSharded(counts[0])
+	refTbl, refRaw := runSharded(counts[0], 1)
 	for _, w := range counts[1:] {
-		tbl, raw := runSharded(w)
+		tbl, raw := runSharded(w, 1)
 		if tbl != refTbl {
 			t.Errorf("sharded Figure 4 table differs between %d and %d workers:\n%d workers:\n%s\n%d workers:\n%s",
 				counts[0], w, counts[0], refTbl, w, tbl)
@@ -128,6 +129,22 @@ func TestFig4RunToRunDeterminism(t *testing.T) {
 		if raw != refRaw {
 			t.Errorf("sharded normalized-IPC grid differs between %d and %d workers:\n%d workers: %s\n%d workers: %s",
 				counts[0], w, counts[0], refRaw, w, raw)
+		}
+	}
+
+	// The pipelined front-end's replay-worker count makes the same promise:
+	// RouteWorkers parallelizes chunk materialization, and the router's
+	// in-order splice erases any trace of which worker produced what, so
+	// every count renders the identical campaign.
+	for _, rw := range []int{2, runtime.GOMAXPROCS(0)} {
+		tbl, raw := runSharded(1, rw)
+		if tbl != refTbl {
+			t.Errorf("sharded Figure 4 table differs between 1 and %d route workers:\n1:\n%s\n%d:\n%s",
+				rw, refTbl, rw, tbl)
+		}
+		if raw != refRaw {
+			t.Errorf("sharded normalized-IPC grid differs between 1 and %d route workers:\n1: %s\n%d: %s",
+				rw, refRaw, rw, raw)
 		}
 	}
 }

@@ -58,6 +58,19 @@ type Options struct {
 	// from the serial model's (the slices have private caches and trees),
 	// so goldens pin the two models separately.
 	Shards int
+	// RouteWorkers bounds the replay workers of the pipelined trace
+	// front-end (pipeline.go) that materialize generator chunks in
+	// parallel. Zero and negative mean "use GOMAXPROCS workers", the same
+	// contract as Parallelism; any positive value is honoured exactly.
+	// Like Shards, it changes wall time only, never results — fingerprints
+	// are pinned across worker counts. Ignored for serial (Shards == 0)
+	// runs.
+	RouteWorkers int
+	// RouteChunk is the pipeline's chunk size in instructions. Zero and
+	// negative select the built-in default; any positive value is
+	// honoured. Chunk size moves segment seal boundaries but never event
+	// order, keys, or budgets, so it too changes wall time only.
+	RouteChunk int
 }
 
 // DefaultOptions returns a campaign sized for interactive use.
@@ -130,6 +143,18 @@ type Runner struct {
 	// mergeNanos is the wall time of the last sharded run's merge fold;
 	// see MergeNanos.
 	mergeNanos int64
+
+	// calScratch recycles calendar segments across every sharded run the
+	// Runner executes, so a campaign's routing reuses a few pre-carved
+	// backing arrays instead of allocating per segment (pipeline.go).
+	calScratch calPool
+
+	// pipe* hold the wall-clock accounting of the most recent sharded
+	// run's pipelined front-end; see PipelineStats. Guarded by mu —
+	// campaign runs execute concurrently.
+	pipeFirstSealNanos int64
+	pipeRouteDoneNanos int64
+	pipeTotalNanos     int64
 }
 
 // noteTableErr records the first malformed-figure-row error. Figure tables
@@ -330,6 +355,41 @@ func (r *Runner) workerCount() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return r.Opt.Parallelism
+}
+
+// routeWorkers resolves Options.RouteWorkers under the same contract as
+// Parallelism: <= 0 maps to GOMAXPROCS, positive values pass through.
+func (r *Runner) routeWorkers() int {
+	if r.Opt.RouteWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Opt.RouteWorkers
+}
+
+// routeChunk resolves Options.RouteChunk: <= 0 selects the default.
+func (r *Runner) routeChunk() uint64 {
+	if r.Opt.RouteChunk <= 0 {
+		return defaultRouteChunk
+	}
+	return uint64(r.Opt.RouteChunk)
+}
+
+// PipelineStats reports the wall-clock accounting of the most recent
+// sharded run's pipelined trace front-end, as fractions of that run's
+// total wall time: routeOverhead is the serial prefix before the first
+// sealed segment reached a slice (no simulation can proceed during it),
+// and pipelineFill is the span until routing completed (beyond it the
+// slices run free of the front-end). Both are zero for serial runs. The
+// readings are host wall time for the speed benchmarks; no simulated
+// number depends on them.
+func (r *Runner) PipelineStats() (routeOverhead, pipelineFill float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pipeTotalNanos == 0 {
+		return 0, 0
+	}
+	total := float64(r.pipeTotalNanos)
+	return float64(r.pipeFirstSealNanos) / total, float64(r.pipeRouteDoneNanos) / total
 }
 
 // parallelFor runs fn(0..n-1) across a bounded worker pool.

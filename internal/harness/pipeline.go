@@ -1,0 +1,328 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secmem/internal/config"
+	"secmem/internal/core"
+	"secmem/internal/cpu"
+	"secmem/internal/sim"
+	"secmem/internal/trace"
+)
+
+// The pipelined trace front-end (DESIGN.md §15) dissolves the sharded
+// core's route-then-simulate barrier into four overlapped stages:
+//
+//	stepper ─chunks─▶ replay workers ─buffers─▶ router ─segments─▶ slices
+//
+//  1. The stepper owns the canonical generator. At every chunk boundary
+//     it takes an O(1) Generator.Clone — the chunk's starting state —
+//     then advances the canonical state through the chunk with
+//     trace.AdvanceChunk. This serial state-replay is the scheme's only
+//     serial stage.
+//  2. RouteWorkers replay workers materialize chunks from their
+//     snapshots concurrently (trace.GenerateChunk), in whatever order
+//     the scheduler picks.
+//  3. The router consumes materialized chunks strictly in chunk-index
+//     order — its event walk is therefore the exact serial stream — and
+//     routes each event into its slice's open calendar segment with the
+//     same dispatch-cycle key and budget accounting as routeStream. At
+//     each chunk boundary it seals the segments the chunk touched and
+//     ships them over bounded per-slice channels; the last segment of
+//     every slice is marked final and carries the slice's instruction
+//     budget.
+//  4. Slice workers start simulating as soon as their first sealed
+//     segment arrives, while later chunks are still being generated and
+//     routed. A slice's cpu.CPU reads the stream through segSource,
+//     whose cpu.BudgetSource side reports the budget the moment the
+//     final segment arrives — always before the event the budget cuts,
+//     because that crossing event is by construction in the final
+//     segment.
+//
+// Determinism: the clone-and-replay split reproduces the serial stream
+// byte for byte (the trace package's chunk differential test), and the
+// router is a serial fold over that stream, so per-slice event
+// sequences, keys, and budgets are functions of (bench, seed, cfg)
+// alone. Chunk size only moves seal boundaries — a slice sees the same
+// events in the same order however they are cut into segments — and
+// RouteWorkers, like Shards, changes wall time only.
+
+// defaultRouteChunk is the pipeline's chunk size in instructions. At the
+// profiles' ~0.3 memory fraction a chunk is ~10k events: large enough to
+// amortize the clone/handoff machinery, small enough that the serial
+// prefix before the first sealed segment — the route_overhead_fraction
+// the speed benchmarks report — is a sliver of the run.
+const defaultRouteChunk = 32768
+
+// segInFlight bounds the sealed segments queued to one slice. The router
+// blocks once a slice falls this far behind, which in turn bounds the
+// pipeline's buffered state; slices always drain (they never block while
+// holding a worker slot for anything but simulation), so the router can
+// never deadlock against a full segment channel.
+const segInFlight = 4
+
+// chunkJob is one chunk's handoff: the stepper fills snap/events/final,
+// a replay worker delivers the materialized events on out (buffered, so
+// workers never block on delivery), and the router receives jobs in
+// chunk-index order through a separate ordered channel.
+type chunkJob struct {
+	snap   *trace.Generator
+	events int
+	final  bool
+	out    chan []cpu.Event
+}
+
+// segment is one sealed calendar epoch of one slice's stream. final
+// marks the slice's last segment and carries its instruction budget.
+type segment struct {
+	cal    *sim.Calendar[cpu.Event]
+	final  bool
+	budget uint64
+}
+
+// calPool recycles segment calendars. It is shared across every sharded
+// run a Runner executes — campaign benches run concurrently, hence the
+// mutex — so steady-state routing reuses the same few pre-carved backing
+// arrays for a whole campaign instead of allocating per segment.
+type calPool struct {
+	mu   sync.Mutex
+	free []*sim.Calendar[cpu.Event]
+}
+
+// calWidth is the calendar bucket width used by both routeStream and the
+// pipeline's segments, so pooled calendars are interchangeable.
+const calWidth = 64
+
+func (p *calPool) get(hint int) *sim.Calendar[cpu.Event] {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c
+	}
+	p.mu.Unlock()
+	return sim.NewCalendar[cpu.Event](calWidth, hint)
+}
+
+func (p *calPool) put(c *sim.Calendar[cpu.Event]) {
+	c.Recycle()
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// pipeWall carries the wall-clock accounting of one pipelined run. The
+// router writes the stamps while the spawning goroutine later reads
+// them, so both live behind atomics. Stamps are host wall time: they
+// feed the speed benchmarks' route overhead figures only and never any
+// simulated number.
+type pipeWall struct {
+	start     time.Time
+	firstSeal atomic.Int64 // nanos from start until the first sealed segment shipped
+	routeDone atomic.Int64 // nanos from start until routing completed
+}
+
+func (w *pipeWall) stampFirst() {
+	if w.firstSeal.Load() == 0 {
+		//secmemlint:ignore determinism wall-clock stamp for the speed benchmarks' route_overhead_fraction; stored on the Runner, never in RunOut
+		w.firstSeal.Store(time.Since(w.start).Nanoseconds())
+	}
+}
+
+// startPipeline launches the stepper, replay workers, and router for one
+// sharded run and returns the per-slice segment channels plus the join
+// for the three stages. The router closes every channel when routing is
+// complete; all stages terminate on their own once the stream is
+// exhausted, and waiting on the returned group after draining the
+// channels guarantees none outlives the run.
+func startPipeline(gen *trace.Generator, cfg config.SystemConfig, total uint64, workers int, chunkInstr uint64, pool *calPool, pw *pipeWall) ([]chan segment, *sync.WaitGroup) {
+	inFlight := workers + 2
+	jobs := make(chan chunkJob, inFlight)    // replay workers, any order
+	ordered := make(chan chunkJob, inFlight) // router, chunk-index order
+	// Free list of chunk event buffers, sized so neither the workers nor
+	// the router can exhaust it while the pipeline is saturated.
+	bufs := make(chan []cpu.Event, inFlight+workers+2)
+	for i := 0; i < cap(bufs); i++ {
+		bufs <- nil
+	}
+	segCh := make([]chan segment, ShardSlices)
+	for i := range segCh {
+		segCh[i] = make(chan segment, segInFlight)
+	}
+
+	var wg sync.WaitGroup
+
+	// Stepper: the serial state-replay walk. One Clone per chunk, then the
+	// canonical generator advances through it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(jobs)
+		defer close(ordered)
+		remaining := total
+		for {
+			snap := gen.Clone()
+			events, instr, final := trace.AdvanceChunk(gen, chunkInstr, remaining)
+			remaining -= instr
+			job := chunkJob{snap: snap, events: events, final: final,
+				out: make(chan []cpu.Event, 1)}
+			jobs <- job
+			ordered <- job
+			if final {
+				return
+			}
+		}
+	}()
+
+	// Replay workers: materialize chunks from their snapshots.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				buf := <-bufs
+				if cap(buf) < job.events {
+					buf = make([]cpu.Event, 0, job.events+job.events/8+16)
+				}
+				job.out <- trace.GenerateChunk(job.snap, job.events, buf[:0])
+			}
+		}()
+	}
+
+	// Router: the serial fold that keys, budgets, and seals. It mirrors
+	// routeStream's loop exactly — same slice map, same done/IssueWidth
+	// key, same mid-batch budget cutoff — chunk splicing in index order
+	// makes its input the exact serial stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pageBytes := uint64(cfg.PageBlocks) * core.BlockSize
+		iw := uint64(cfg.IssueWidth)
+		hint := int(float64(chunkInstr)*gen.Profile().MemFraction)/ShardSlices + 16
+		var open [ShardSlices]*sim.Calendar[cpu.Event]
+		var touched [ShardSlices]bool
+		var budget [ShardSlices]uint64
+		var done uint64
+		for job := range ordered {
+			buf := <-job.out
+			for _, ev := range buf {
+				s := sliceOf(ev.Addr, pageBytes)
+				if open[s] == nil {
+					open[s] = pool.get(hint)
+				}
+				open[s].Push(sim.Time(done/iw), ev)
+				touched[s] = true
+				n := uint64(ev.NonMemBefore)
+				if n >= total-done {
+					// The budget ends inside this event's non-memory
+					// prefix; the slice's CPU accounts the tail and stops,
+					// exactly like the serial loop.
+					budget[s] += total - done
+					done = total
+					break
+				}
+				budget[s] += n + 1
+				done += n + 1
+			}
+			bufs <- buf
+			if job.final {
+				break
+			}
+			// Chunk boundary: seal and ship this epoch's touched segments.
+			for s := range touched {
+				if !touched[s] {
+					continue
+				}
+				open[s].Seal()
+				pw.stampFirst()
+				segCh[s] <- segment{cal: open[s]}
+				open[s] = nil
+				touched[s] = false
+			}
+		}
+		// Final segments. Every slice gets exactly one, carrying its
+		// budget; the budget-crossing event (if the slice has one) is in
+		// it, so segSource learns the budget no later than that event.
+		//secmemlint:ignore determinism wall-clock stamp for the speed benchmarks' pipeline_fill_fraction; stored on the Runner, never in RunOut
+		pw.routeDone.Store(time.Since(pw.start).Nanoseconds())
+		for s := 0; s < ShardSlices; s++ {
+			cal := open[s]
+			if cal == nil {
+				cal = pool.get(0)
+			}
+			cal.Seal()
+			pw.stampFirst()
+			segCh[s] <- segment{cal: cal, final: true, budget: budget[s]}
+			close(segCh[s])
+		}
+	}()
+
+	return segCh, &wg
+}
+
+// segSource adapts one slice's segment stream to cpu.Source and
+// cpu.BudgetSource. It pops the current segment until dry, recycles it
+// into the pool, and blocks for the next — releasing its slice-worker
+// semaphore slot while it waits, so a stalled slice never starves the
+// others of simulation bandwidth.
+type segSource struct {
+	ch   <-chan segment
+	pool *calPool
+	sem  chan struct{}
+
+	cur    *sim.Calendar[cpu.Event]
+	final  bool
+	budget uint64
+}
+
+func (s *segSource) Next() (cpu.Event, bool) {
+	for {
+		if s.cur != nil {
+			if ev, _, ok := s.cur.Pop(); ok {
+				return ev, true
+			}
+			s.pool.put(s.cur)
+			s.cur = nil
+		}
+		if s.final {
+			return cpu.Event{}, false
+		}
+		seg, ok := s.recv()
+		if !ok {
+			return cpu.Event{}, false
+		}
+		s.cur = seg.cal
+		if seg.final {
+			s.final = true
+			s.budget = seg.budget
+		}
+	}
+}
+
+// Budget reports the slice's instruction budget once the final segment
+// has arrived and the no-op sentinel before that — the cpu.BudgetSource
+// contract is met because the budget-crossing event travels in the final
+// segment, so the real value is always visible before Run reaches it.
+func (s *segSource) Budget() uint64 {
+	if s.final {
+		return s.budget
+	}
+	return ^uint64(0)
+}
+
+// recv receives the next segment, giving up the worker slot while
+// blocked so another slice with work ready can simulate.
+func (s *segSource) recv() (segment, bool) {
+	select {
+	case seg, ok := <-s.ch:
+		return seg, ok
+	default:
+	}
+	<-s.sem
+	seg, ok := <-s.ch
+	s.sem <- struct{}{}
+	return seg, ok
+}

@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"secmem/internal/config"
+	"secmem/internal/cpu"
+	"secmem/internal/sim"
+	"secmem/internal/trace"
+)
+
+// keyedEvent pairs an event with its calendar key so the differential
+// tests compare routing keys, not just event order.
+type keyedEvent struct {
+	ev  cpu.Event
+	key sim.Time
+}
+
+// drainCalendar empties a calendar into a keyed event list.
+func drainCalendar(c *sim.Calendar[cpu.Event], dst []keyedEvent) []keyedEvent {
+	for {
+		ev, key, ok := c.Pop()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, keyedEvent{ev, key})
+	}
+}
+
+// drainPipeline runs the pipelined front-end and collects every slice's
+// spliced segment stream and budget. Each slice drains concurrently —
+// the channels are bounded, so a serial drain could stall the router.
+func drainPipeline(t *testing.T, bench string, seed int64, total uint64, workers int, chunk uint64) ([][]keyedEvent, []uint64) {
+	t.Helper()
+	cfg := config.Default()
+	gen := trace.NewGenerator(trace.Get(bench), seed)
+	pool := &calPool{}
+	pw := &pipeWall{start: time.Now()}
+	segCh, pipeWG := startPipeline(gen, cfg, total, workers, chunk, pool, pw)
+
+	events := make([][]keyedEvent, ShardSlices)
+	budgets := make([]uint64, ShardSlices)
+	var wg sync.WaitGroup
+	for s := 0; s < ShardSlices; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			finals := 0
+			for seg := range segCh[s] {
+				if !seg.cal.Sealed() {
+					t.Errorf("slice %d received an unsealed segment", s)
+				}
+				events[s] = drainCalendar(seg.cal, events[s])
+				if seg.final {
+					finals++
+					budgets[s] = seg.budget
+				}
+				pool.put(seg.cal)
+			}
+			if finals != 1 {
+				t.Errorf("slice %d saw %d final segments, want exactly 1", s, finals)
+			}
+		}()
+	}
+	wg.Wait()
+	pipeWG.Wait()
+	return events, budgets
+}
+
+// TestPipelineMatchesRouteStream is the tentpole differential: for every
+// route-worker count and chunk size, the pipeline's per-slice spliced
+// segment streams — events, calendar keys, and budgets — must be
+// identical to the serial routeStream reference.
+func TestPipelineMatchesRouteStream(t *testing.T) {
+	const total = 60_000
+	for _, bench := range []string{"swim", "mcf", "gcc"} {
+		queues, wantBudget := routeStream(trace.NewGenerator(trace.Get(bench), 7), config.Default(), total)
+		want := make([][]keyedEvent, ShardSlices)
+		for s := range queues {
+			want[s] = drainCalendar(queues[s], nil)
+		}
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0) + 1} {
+			for _, chunk := range []uint64{1, 977, defaultRouteChunk, total * 2} {
+				events, budgets := drainPipeline(t, bench, 7, total, workers, chunk)
+				for s := 0; s < ShardSlices; s++ {
+					if budgets[s] != wantBudget[s] {
+						t.Fatalf("%s workers=%d chunk=%d slice %d: budget %d, want %d",
+							bench, workers, chunk, s, budgets[s], wantBudget[s])
+					}
+					if !reflect.DeepEqual(events[s], want[s]) {
+						limit := len(events[s])
+						if len(want[s]) < limit {
+							limit = len(want[s])
+						}
+						for i := 0; i < limit; i++ {
+							if events[s][i] != want[s][i] {
+								t.Fatalf("%s workers=%d chunk=%d slice %d event %d: %+v, want %+v",
+									bench, workers, chunk, s, i, events[s][i], want[s][i])
+							}
+						}
+						t.Fatalf("%s workers=%d chunk=%d slice %d: %d events, want %d",
+							bench, workers, chunk, s, len(events[s]), len(want[s]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedInvariantAcrossPipelineKnobs: full sharded runs must be
+// DeepEqual across every route-worker count and chunk size — the knobs
+// move wall time only.
+func TestShardedInvariantAcrossPipelineKnobs(t *testing.T) {
+	run := func(routeWorkers, routeChunk int) RunOut {
+		r := New(Options{Instructions: 120_000, Seed: 1, Shards: 2,
+			RouteWorkers: routeWorkers, RouteChunk: routeChunk})
+		return r.Run("swim", config.Default())
+	}
+	want := run(1, 0)
+	for _, rw := range []int{2, runtime.GOMAXPROCS(0) + 2} {
+		if got := run(rw, 0); !reflect.DeepEqual(want, got) {
+			t.Fatalf("routeworkers=%d result differs:\n%+v\nvs\n%+v", rw, got, want)
+		}
+	}
+	for _, chunk := range []int{1000, 8192, 1 << 20} {
+		if got := run(1, chunk); !reflect.DeepEqual(want, got) {
+			t.Fatalf("routechunk=%d result differs:\n%+v\nvs\n%+v", chunk, got, want)
+		}
+	}
+}
+
+// TestPipelineStats: a sharded run populates the wall-clock accounting
+// with ordered, sane fractions; a serial run leaves it at zero.
+func TestPipelineStats(t *testing.T) {
+	r := New(Options{Instructions: 200_000, Seed: 1, Shards: 2})
+	r.Run("swim", config.Default())
+	overhead, fill := r.PipelineStats()
+	if overhead <= 0 || fill <= 0 {
+		t.Fatalf("sharded run left pipeline stats unset: overhead=%v fill=%v", overhead, fill)
+	}
+	if overhead > fill {
+		t.Fatalf("route overhead %v exceeds pipeline fill %v", overhead, fill)
+	}
+	if fill > 1.05 {
+		t.Fatalf("pipeline fill fraction %v exceeds the run's wall time", fill)
+	}
+
+	serial := New(Options{Instructions: 50_000, Seed: 1})
+	serial.Run("swim", config.Default())
+	if o, f := serial.PipelineStats(); o != 0 || f != 0 {
+		t.Fatalf("serial run reports pipeline stats %v/%v, want 0/0", o, f)
+	}
+}
+
+// TestCalPoolRecirculates: after a sharded run, the Runner's scratch pool
+// holds recycled segments, and repeated runs keep the pool under the
+// pipeline's structural cap — the most calendars that can ever be live
+// at once is one open plus segInFlight queued plus one being drained,
+// per slice. Scheduling decides how close any given run gets to that
+// cap (under the race detector the slices drain slower and more
+// segments pile up), so the bound is the cap, not the first run's size.
+func TestCalPoolRecirculates(t *testing.T) {
+	const maxLive = ShardSlices * (segInFlight + 2)
+	r := New(Options{Instructions: 150_000, Seed: 1, Shards: 1})
+	r.Run("swim", config.Default())
+	if len(r.calScratch.free) == 0 {
+		t.Fatal("scratch pool empty after a sharded run; segments are not recycled")
+	}
+	for i := 0; i < 3; i++ {
+		r.Run("swim", config.Default())
+		if n := len(r.calScratch.free); n > maxLive {
+			t.Fatalf("run %d left %d pooled calendars, above the structural cap %d; segments leak instead of recirculating", i+2, n, maxLive)
+		}
+	}
+}
+
+// TestShardedThroughputBeatsSerial is the bench-parallel-smoke gate for
+// multi-core CI runners: with at least two CPUs, the sharded end-to-end
+// wall time at GOMAXPROCS workers must not lose to the serial model on
+// the same workload. Opt-in via SECMEM_PARALLEL_SMOKE=1 — wall-clock
+// assertions are too flaky for the default suite — and skipped on
+// single-CPU hosts, where the sharded core cannot win by construction.
+func TestShardedThroughputBeatsSerial(t *testing.T) {
+	if os.Getenv("SECMEM_PARALLEL_SMOKE") == "" {
+		t.Skip("set SECMEM_PARALLEL_SMOKE=1 to run the throughput smoke test")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skipf("GOMAXPROCS=%d: parallel speedup needs a multi-core runner", procs)
+	}
+	const instructions = 2_000_000
+	cfg := config.Default()
+	bestOf := func(opt Options) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			r := New(opt)
+			start := time.Now()
+			r.Run("swim", cfg)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := bestOf(Options{Instructions: instructions, Seed: 1})
+	sharded := bestOf(Options{Instructions: instructions, Seed: 1, Shards: procs})
+	speedup := float64(serial) / float64(sharded)
+	t.Logf("serial %v, sharded(%d workers) %v, speedup %.2fx", serial, procs, sharded, speedup)
+	if sharded > serial {
+		t.Fatalf("sharded run (%v) slower than serial (%v) on %d CPUs", sharded, serial, procs)
+	}
+}

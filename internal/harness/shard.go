@@ -2,6 +2,7 @@ package harness
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"secmem/internal/config"
@@ -70,14 +71,18 @@ func (s *calSource) Next() (cpu.Event, bool) {
 // instruction budget; budgets sum to min(total, stream length), and the
 // slice receiving the final, possibly truncated non-memory batch gets the
 // same mid-batch cutoff the serial CPU loop applies.
+//
+// routeStream is the serial reference the pipelined front-end
+// (pipeline.go) is differentially tested against; production sharded
+// runs go through the pipeline.
 func routeStream(gen *trace.Generator, cfg config.SystemConfig, total uint64) ([]*sim.Calendar[cpu.Event], []uint64) {
 	queues := make([]*sim.Calendar[cpu.Event], ShardSlices)
-	// Pre-size for the expected per-slice event count (the workload
-	// profiles average a handful of instructions per memory event) so bulk
-	// routing never regrows the bucket arrays.
-	hint := int(total / 3 / ShardSlices)
+	// Pre-size for the expected per-slice event count — the budget times
+	// the profile's memory fraction, split across slices — so bulk routing
+	// never regrows the bucket arrays.
+	hint := int(float64(total)*gen.Profile().MemFraction) / ShardSlices
 	for i := range queues {
-		queues[i] = sim.NewCalendar[cpu.Event](64, hint)
+		queues[i] = sim.NewCalendar[cpu.Event](calWidth, hint)
 	}
 	budget := make([]uint64, ShardSlices)
 	pageBytes := uint64(cfg.PageBlocks) * core.BlockSize
@@ -105,16 +110,23 @@ func routeStream(gen *trace.Generator, cfg config.SystemConfig, total uint64) ([
 	return queues, budget
 }
 
-// runSharded is RunObserved for the sharded core. The caller-provided
-// registry and sampler receive the deterministic merge of the per-slice
-// instruments; span recording (obs.Rec) is limited to the merged counter
-// tracks the sampler emits, since slices have no common span timeline.
+// runSharded is RunObserved for the sharded core, built on the pipelined
+// trace front-end (pipeline.go): slice simulation starts as soon as the
+// first sealed calendar segment arrives, overlapping generation and
+// routing with simulation instead of paying them as a serial prefix. The
+// caller-provided registry and sampler receive the deterministic merge of
+// the per-slice instruments; span recording (obs.Rec) is limited to the
+// merged counter tracks the sampler emits, since slices have no common
+// span timeline.
 func (r *Runner) runSharded(bench string, cfg config.SystemConfig, obs Obs) RunOut {
 	if r.Opt.Functional {
 		cfg.Functional = true
 	}
+	//secmemlint:ignore determinism wall-clock base for the pipeline's speed accounting; readings land in Runner fields only, never in RunOut
+	pw := &pipeWall{start: time.Now()}
 	gen := trace.NewGenerator(trace.Get(bench), r.Opt.Seed)
-	queues, budget := routeStream(gen, cfg, r.Opt.Instructions)
+	segCh, pipeWG := startPipeline(gen, cfg, r.Opt.Instructions,
+		r.routeWorkers(), r.routeChunk(), &r.calScratch, pw)
 
 	var sh *obsv.ShardedRegistry
 	if obs.Reg != nil {
@@ -122,31 +134,56 @@ func (r *Runner) runSharded(bench string, cfg config.SystemConfig, obs Obs) RunO
 	}
 	samplers := make([]*obsv.Sampler, ShardSlices)
 	outs := make([]RunOut, ShardSlices)
+	// All ShardSlices slice goroutines exist for the whole run so every
+	// segment channel always has its consumer, but only Options.Shards of
+	// them simulate at once: each holds a semaphore slot while running and
+	// hands it back while blocked waiting for a segment (segSource.recv),
+	// so a slice the router is still feeding never idles a worker slot.
 	workers := r.Opt.Shards
-	parallelDo(workers, ShardSlices, func(i int) {
-		mem, err := core.NewMemSystem(cfg)
-		if err != nil {
-			panic(err) // configurations are code, not input
-		}
-		if sh != nil {
-			mem.Instrument(sh.Shard(i), nil)
-		}
-		if obs.Smp != nil {
-			smp := obsv.NewSampler(obs.Smp.Interval(), obs.Smp.Capacity())
-			samplers[i] = smp
-			mem.AttachSampler(smp)
-		}
-		c := cpu.New(cfg, mem)
-		res := c.Run(&calSource{queues[i]}, budget[i])
-		samplers[i].SampleAt(uint64(res.Cycles))
-		if sh != nil {
-			mem.ExportObs(res.Cycles)
-		}
-		if cfg.ChargeMonoReenc {
-			res.Cycles += mem.Controller().Stats.FreezeCycles
-		}
-		outs[i] = collectRunOut(bench, cfg, mem, res)
-	})
+	if workers > ShardSlices {
+		workers = ShardSlices
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < ShardSlices; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mem, err := core.NewMemSystem(cfg)
+			if err != nil {
+				panic(err) // configurations are code, not input
+			}
+			if sh != nil {
+				mem.Instrument(sh.Shard(i), nil)
+			}
+			if obs.Smp != nil {
+				smp := obsv.NewSampler(obs.Smp.Interval(), obs.Smp.Capacity())
+				samplers[i] = smp
+				mem.AttachSampler(smp)
+			}
+			c := cpu.New(cfg, mem)
+			src := &segSource{ch: segCh[i], pool: &r.calScratch, sem: sem}
+			res := c.Run(src, ^uint64(0))
+			if src.cur != nil {
+				// A budget exit leaves the drained final segment in hand;
+				// recycle it so the pool sees every segment back.
+				r.calScratch.put(src.cur)
+				src.cur = nil
+			}
+			samplers[i].SampleAt(uint64(res.Cycles))
+			if sh != nil {
+				mem.ExportObs(res.Cycles)
+			}
+			if cfg.ChargeMonoReenc {
+				res.Cycles += mem.Controller().Stats.FreezeCycles
+			}
+			outs[i] = collectRunOut(bench, cfg, mem, res)
+		}()
+	}
+	wg.Wait()
+	pipeWG.Wait()
 
 	// The merge fold is the serial tail of a sharded run; its wall time is
 	// the shard-merge overhead the parallel speed benchmarks report. Timing
@@ -166,6 +203,11 @@ func (r *Runner) runSharded(bench string, cfg config.SystemConfig, obs Obs) RunO
 	}
 	out := mergeRunOuts(outs)
 	r.mergeNanos = time.Since(mergeStart).Nanoseconds() //secmemlint:ignore determinism same wall-clock measurement as above; lands in Runner.mergeNanos only
+	r.mu.Lock()
+	r.pipeFirstSealNanos = pw.firstSeal.Load()
+	r.pipeRouteDoneNanos = pw.routeDone.Load()
+	r.pipeTotalNanos = time.Since(pw.start).Nanoseconds() //secmemlint:ignore determinism wall-clock denominator for PipelineStats; Runner fields only, never RunOut
+	r.mu.Unlock()
 	return out
 }
 

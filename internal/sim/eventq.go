@@ -26,6 +26,14 @@ type Calendar[T any] struct {
 
 	cur    int  // bucket the dequeue sweep is standing on
 	curTop Time // exclusive upper key bound of buckets[cur] in this year
+
+	// sealed marks the calendar as a closed epoch: the producer has
+	// promised no further pushes, so a consumer that drains it empty has
+	// seen every event it will ever carry. The pipelined router seals a
+	// segment before handing it across the goroutine boundary; Push on a
+	// sealed calendar panics, turning an ordering bug into a loud failure
+	// instead of a silently reordered stream.
+	sealed bool
 }
 
 type calEntry[T any] struct {
@@ -94,9 +102,39 @@ func (c *Calendar[T]) reset(buckets int) {
 // Len reports the number of queued events.
 func (c *Calendar[T]) Len() int { return c.n }
 
+// Seal closes the calendar's epoch: no further Push is legal. Sealing is
+// idempotent and does not affect Pop.
+func (c *Calendar[T]) Seal() { c.sealed = true }
+
+// Sealed reports whether the calendar has been sealed.
+func (c *Calendar[T]) Sealed() bool { return c.sealed }
+
+// Recycle clears the calendar for reuse, retaining every bucket's backing
+// capacity (and the pre-carved sizeHint allocation, where buckets still
+// point into it). A recycled calendar is unsealed and empty — the segment
+// pool's reset between epochs, so steady-state routing allocates nothing.
+func (c *Calendar[T]) Recycle() {
+	var zero T
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		for j := b.head; j < len(b.entries); j++ {
+			b.entries[j].val = zero // release references for the GC
+		}
+		b.entries = b.entries[:0]
+		b.head = 0
+	}
+	c.n = 0
+	c.cur = 0
+	c.curTop = Time(1) << c.shift
+	c.sealed = false
+}
+
 // Push enqueues val at key. Keys may arrive in any order, including before
 // already-dequeued keys; such stragglers dequeue at the next opportunity.
 func (c *Calendar[T]) Push(key Time, val T) {
+	if c.sealed {
+		panic("sim: Push on a sealed Calendar")
+	}
 	if c.n == c.growAt {
 		c.grow()
 	}

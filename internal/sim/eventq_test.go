@@ -156,3 +156,139 @@ func TestCalendarEmptyPop(t *testing.T) {
 		t.Fatal("second pop succeeded")
 	}
 }
+
+// TestCalendarSealSemantics: sealing is idempotent, visible, popped
+// through freely, and turns a late Push into a panic.
+func TestCalendarSealSemantics(t *testing.T) {
+	c := NewCalendar[int](4, 0)
+	for i := 0; i < 10; i++ {
+		c.Push(Time(i), i)
+	}
+	if c.Sealed() {
+		t.Fatal("new calendar reports sealed")
+	}
+	c.Seal()
+	c.Seal() // idempotent
+	if !c.Sealed() {
+		t.Fatal("Seal did not stick")
+	}
+	if got := drain(t, c); len(got) != 10 {
+		t.Fatalf("drained %d of 10 after seal", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push on sealed calendar did not panic")
+		}
+	}()
+	c.Push(99, 99)
+}
+
+// TestCalendarRecycleReuse: a recycled calendar is empty, unsealed, and
+// orders a fresh load correctly; steady-state recycling does not allocate
+// (the segment-pool contract of the pipelined router).
+func TestCalendarRecycleReuse(t *testing.T) {
+	c := NewCalendar[int](4, 1024)
+	load := func(n int) {
+		for i := 0; i < n; i++ {
+			c.Push(Time(i/3), i)
+		}
+	}
+	load(500)
+	c.Seal()
+	if got := drain(t, c); len(got) != 500 {
+		t.Fatalf("first load drained %d", len(got))
+	}
+	c.Recycle()
+	if c.Len() != 0 || c.Sealed() {
+		t.Fatalf("after Recycle: Len=%d Sealed=%v", c.Len(), c.Sealed())
+	}
+	load(500)
+	got := drain(t, c)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("recycled order broken at %d: got %d", i, v)
+		}
+	}
+	// Steady state: fill/drain/recycle within the pre-carved capacity must
+	// not touch the allocator.
+	allocs := testing.AllocsPerRun(20, func() {
+		load(200)
+		for {
+			if _, _, ok := c.Pop(); !ok {
+				break
+			}
+		}
+		c.Recycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("recycled fill/drain allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestCalendarStragglerAfterMonotoneRun: after a long monotone fast-path
+// run has advanced the sweep deep into a year, a straggler far behind the
+// sweep must rewind it and dequeue first.
+func TestCalendarStragglerAfterMonotoneRun(t *testing.T) {
+	c := NewCalendar[int](8, 0)
+	// Monotone run: push and pop in lockstep so the sweep walks forward.
+	for i := 0; i < 3000; i++ {
+		c.Push(Time(i*2), i)
+		if _, k, ok := c.Pop(); !ok || k != Time(i*2) {
+			t.Fatalf("monotone pop %d: key %d ok=%v", i, k, ok)
+		}
+	}
+	// Queue now empty, sweep standing near key 6000. A straggler at key 1
+	// and a contemporary at key 6100: the straggler must win.
+	c.Push(6100, -1)
+	c.Push(1, -2)
+	if v, k, _ := c.Pop(); k != 1 || v != -2 {
+		t.Fatalf("straggler after monotone run: got key=%d val=%d, want key=1 val=-2", k, v)
+	}
+	if v, k, _ := c.Pop(); k != 6100 || v != -1 {
+		t.Fatalf("post-straggler pop: got key=%d val=%d", k, v)
+	}
+}
+
+// TestCalendarGrowthAtExactLoadBoundary pins the doubling trigger: with
+// the minimum 8 buckets, push number 129 (n == 8*calLoad == growAt) must
+// grow the array without dropping or reordering anything — including the
+// equal-key FIFO runs spanning the boundary.
+func TestCalendarGrowthAtExactLoadBoundary(t *testing.T) {
+	c := NewCalendar[int](4, 0)
+	boundary := minCalBuckets * calLoad
+	for i := 0; i <= boundary; i++ { // boundary+1 pushes: the last one grows
+		c.Push(Time(i/16), i) // runs of 16 equal keys across the boundary
+	}
+	if len(c.buckets) != minCalBuckets*2 {
+		t.Fatalf("after %d pushes: %d buckets, want %d", boundary+1, len(c.buckets), minCalBuckets*2)
+	}
+	got := drain(t, c)
+	if len(got) != boundary+1 {
+		t.Fatalf("drained %d of %d", len(got), boundary+1)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d after boundary growth: got %d", i, v)
+		}
+	}
+}
+
+// TestCalendarSizeHintEdges: zero and negative hints must behave exactly
+// like an unhinted calendar — no pre-carving, no panic, correct order.
+func TestCalendarSizeHintEdges(t *testing.T) {
+	for _, hint := range []int{0, -1, -1 << 20} {
+		c := NewCalendar[int](4, hint)
+		if len(c.buckets) != minCalBuckets {
+			t.Fatalf("hint %d: %d buckets, want %d", hint, len(c.buckets), minCalBuckets)
+		}
+		for i := 0; i < 1000; i++ {
+			c.Push(Time(i/5), i)
+		}
+		got := drain(t, c)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("hint %d: order broken at %d: got %d", hint, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import "secmem/internal/cpu"
+
+// Chunked generation splits an instruction budget into spans that can be
+// materialized concurrently while remaining byte-identical to a serial
+// Generator.Next walk. The scheme is clone-and-replay:
+//
+//   - a serial stepper owns the canonical generator; at each chunk
+//     boundary it takes an O(1) Clone (the chunk's starting state) and
+//     then advances the canonical state through the chunk with
+//     AdvanceChunk — the cheap serial state-replay that is the scheme's
+//     only serial fraction;
+//   - replay workers call GenerateChunk on the snapshots, in parallel,
+//     to materialize each chunk's events;
+//   - the consumer splices chunks in index order, which by construction
+//     reproduces the serial stream exactly (pinned by the differential
+//     test over all 21 profiles and chunk sizes {1, 64, budget}).
+//
+// Chunks are denominated in instructions, like the budget itself: an
+// event accounts for its NonMemBefore prefix plus itself, and the event
+// that crosses the budget is included (its tail is cut by the CPU loop),
+// mirroring the serial routing accounting bit for bit.
+
+// AdvanceChunk advances g through one chunk: it consumes events until at
+// least chunkInstr instructions are covered or the remaining budget is
+// exhausted, whichever comes first. It returns the number of events
+// consumed, the instructions they account for (the crossing event
+// contributes only the remaining budget, exactly like the serial cutoff),
+// and whether the budget was exhausted — after final, the walk is done
+// and no further chunks exist. chunkInstr must be at least 1; remaining
+// may be zero, in which case the chunk is empty and final.
+func AdvanceChunk(g *Generator, chunkInstr, remaining uint64) (events int, instr uint64, final bool) {
+	if chunkInstr == 0 {
+		panic("trace: AdvanceChunk with zero chunk size")
+	}
+	for instr < chunkInstr {
+		if instr >= remaining {
+			return events, instr, true
+		}
+		ev, ok := g.Next()
+		if !ok {
+			return events, instr, true
+		}
+		events++
+		n := uint64(ev.NonMemBefore)
+		if n >= remaining-instr {
+			// The budget ends inside this event's non-memory prefix; the
+			// event is part of the chunk (the router delivers it and the
+			// CPU loop accounts the partial tail), and the walk is over.
+			return events, remaining, true
+		}
+		instr += n + 1
+	}
+	return events, instr, instr >= remaining
+}
+
+// GenerateChunk materializes a chunk from its starting snapshot: it
+// appends exactly events events produced by snap.Next to dst and returns
+// the extended slice. Running it on a Clone taken where AdvanceChunk
+// started yields the same events the canonical walk consumed.
+func GenerateChunk(snap *Generator, events int, dst []cpu.Event) []cpu.Event {
+	for i := 0; i < events; i++ {
+		ev, ok := snap.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, ev)
+	}
+	return dst
+}

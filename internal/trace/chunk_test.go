@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"secmem/internal/cpu"
+)
+
+// TestFibSourceMatchesMathRand is the fidelity gate for the copyable
+// source: for a spread of seeds (including the normalization edge cases
+// of math/rand's Seed — zero, negatives, values beyond int32), the raw
+// Uint64 stream must match rand.NewSource bit for bit.
+func TestFibSourceMatchesMathRand(t *testing.T) {
+	seeds := []int64{0, 1, -1, 2, 42, int32max, int32max + 1, -int32max,
+		1 << 40, -(1 << 52), 9151314442816847872, -9000000000000000000}
+	for _, seed := range seeds {
+		ref := rand.NewSource(seed).(rand.Source64)
+		got := newFibSource(seed)
+		for i := 0; i < 5000; i++ {
+			if w, g := ref.Uint64(), got.Uint64(); w != g {
+				t.Fatalf("seed %d draw %d: fibSource %#x, math/rand %#x", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestFibSourceThroughRand pins the full wrapper: rand.New over a
+// fibSource must reproduce rand.New(rand.NewSource(seed)) across exactly
+// the distribution methods the trace generator draws from.
+func TestFibSourceThroughRand(t *testing.T) {
+	for _, seed := range []int64{1, 7, -123456789, 1 << 33} {
+		ref := rand.New(rand.NewSource(seed))
+		got := rand.New(newFibSource(seed))
+		for i := 0; i < 2000; i++ {
+			if w, g := ref.ExpFloat64(), got.ExpFloat64(); w != g {
+				t.Fatalf("seed %d draw %d: ExpFloat64 %v vs %v", seed, i, g, w)
+			}
+			if w, g := ref.Float64(), got.Float64(); w != g {
+				t.Fatalf("seed %d draw %d: Float64 %v vs %v", seed, i, g, w)
+			}
+			// 6144 is a non-power-of-two bound (the rejection loop draws a
+			// variable number of times), 4096 a power of two (masked).
+			if w, g := ref.Int63n(6144), got.Int63n(6144); w != g {
+				t.Fatalf("seed %d draw %d: Int63n %v vs %v", seed, i, g, w)
+			}
+			if w, g := ref.Intn(64), got.Intn(64); w != g {
+				t.Fatalf("seed %d draw %d: Intn %v vs %v", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestGeneratorCloneIndependence: a clone must continue the original's
+// stream exactly, and advancing either side must not disturb the other.
+func TestGeneratorCloneIndependence(t *testing.T) {
+	g := NewGenerator(Get("mcf"), 99)
+	for i := 0; i < 1000; i++ {
+		g.Next()
+	}
+	snap := g.Clone()
+	var fromOriginal []cpu.Event
+	for i := 0; i < 500; i++ {
+		ev, _ := g.Next()
+		fromOriginal = append(fromOriginal, ev)
+	}
+	// Perturb the original further; the clone must be unaffected.
+	for i := 0; i < 777; i++ {
+		g.Next()
+	}
+	for i, want := range fromOriginal {
+		ev, _ := snap.Next()
+		if ev != want {
+			t.Fatalf("clone diverged at event %d: %+v vs %+v", i, ev, want)
+		}
+	}
+}
+
+// serialWalk is the reference: the exact event sequence and instruction
+// accounting of the serial routing loop for a given budget.
+func serialWalk(p Profile, seed int64, total uint64) []cpu.Event {
+	g := NewGenerator(p, seed)
+	var events []cpu.Event
+	var done uint64
+	for done < total {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+		n := uint64(ev.NonMemBefore)
+		if n >= total-done {
+			break
+		}
+		done += n + 1
+	}
+	return events
+}
+
+// chunkedWalk drives the clone-and-replay scheme: the stepper clones and
+// advances chunk by chunk; every chunk is then materialized from its
+// snapshot — in reverse chunk order, to prove snapshots are
+// self-contained — and spliced back in index order.
+func chunkedWalk(t *testing.T, p Profile, seed int64, total, chunkInstr uint64) []cpu.Event {
+	t.Helper()
+	g := NewGenerator(p, seed)
+	type chunk struct {
+		snap   *Generator
+		events int
+	}
+	var chunks []chunk
+	remaining := total
+	var covered uint64
+	for {
+		snap := g.Clone()
+		events, instr, final := AdvanceChunk(g, chunkInstr, remaining)
+		chunks = append(chunks, chunk{snap, events})
+		remaining -= instr
+		covered += instr
+		if final {
+			break
+		}
+	}
+	if covered != total {
+		t.Fatalf("chunks cover %d instructions, want %d", covered, total)
+	}
+	bufs := make([][]cpu.Event, len(chunks))
+	for i := len(chunks) - 1; i >= 0; i-- {
+		bufs[i] = GenerateChunk(chunks[i].snap, chunks[i].events, nil)
+		if len(bufs[i]) != chunks[i].events {
+			t.Fatalf("chunk %d materialized %d events, want %d", i, len(bufs[i]), chunks[i].events)
+		}
+	}
+	var spliced []cpu.Event
+	for _, b := range bufs {
+		spliced = append(spliced, b...)
+	}
+	return spliced
+}
+
+// TestChunkedGenerationMatchesSerial is the tentpole differential: over
+// all 21 profiles and chunk sizes 1, 64, and the whole budget, the
+// spliced chunked stream must be event-for-event identical to the serial
+// walk.
+func TestChunkedGenerationMatchesSerial(t *testing.T) {
+	const total = 5000
+	for _, name := range Names() {
+		p := Get(name)
+		want := serialWalk(p, 11, total)
+		for _, chunkInstr := range []uint64{1, 64, total} {
+			got := chunkedWalk(t, p, 11, total, chunkInstr)
+			if !reflect.DeepEqual(got, want) {
+				limit := len(got)
+				if len(want) < limit {
+					limit = len(want)
+				}
+				for i := 0; i < limit; i++ {
+					if got[i] != want[i] {
+						t.Fatalf("%s chunk=%d: event %d differs: %+v vs %+v",
+							name, chunkInstr, i, got[i], want[i])
+					}
+				}
+				t.Fatalf("%s chunk=%d: %d events, want %d", name, chunkInstr, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestAdvanceChunkBudgetEdges pins the cutoff accounting: a zero
+// remaining budget yields an empty final chunk; a budget that ends inside
+// an event's non-memory prefix includes the crossing event but charges
+// only the remaining instructions.
+func TestAdvanceChunkBudgetEdges(t *testing.T) {
+	g := NewGenerator(Get("swim"), 5)
+	events, instr, final := AdvanceChunk(g, 1024, 0)
+	if events != 0 || instr != 0 || !final {
+		t.Fatalf("zero budget: got events=%d instr=%d final=%v, want 0/0/true", events, instr, final)
+	}
+
+	// Find an event with a nonzero prefix, then replay with a budget that
+	// ends inside that prefix.
+	probe := NewGenerator(Get("swim"), 5)
+	var lead uint64
+	var prefix uint64
+	for {
+		ev, _ := probe.Next()
+		n := uint64(ev.NonMemBefore)
+		if n >= 2 {
+			prefix = n
+			break
+		}
+		lead += n + 1
+	}
+	budget := lead + prefix - 1 // ends strictly inside the prefix
+	g2 := NewGenerator(Get("swim"), 5)
+	events, instr, final = AdvanceChunk(g2, budget+1024, budget)
+	if !final || instr != budget {
+		t.Fatalf("mid-prefix cutoff: instr=%d final=%v, want instr=%d final=true", instr, final, budget)
+	}
+	want := serialWalk(Get("swim"), 5, budget)
+	if events != len(want) {
+		t.Fatalf("mid-prefix cutoff consumed %d events, serial walk has %d", events, len(want))
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+// fibSource is a copyable re-implementation of math/rand's unexported
+// rngSource: the additive lagged Fibonacci generator x[n] = x[n-273] +
+// x[n-607] seeded through the Mitchell–Reeds whitening walk. It exists
+// for exactly one capability the standard library withholds — cloning
+// the generator state in O(1) — which is what lets the pipelined trace
+// front-end hand a chunk's starting state to a replay worker while the
+// serial stepper walks on (DESIGN.md §15).
+//
+// Fidelity is a hard requirement, not a nicety: every campaign
+// fingerprint is pinned to the streams rand.New(rand.NewSource(seed))
+// produced, so Seed, Uint64, and Int63 are line-for-line ports of
+// GOROOT/src/math/rand/rng.go and TestFibSourceMatchesMathRand
+// differentially checks long streams for many seeds against the real
+// thing on every test run. fibSource implements rand.Source64, so
+// rand.New wraps it exactly as it wraps the stdlib source and every
+// derived distribution (Float64, ExpFloat64, Int63n, Intn) follows the
+// same draw sequence.
+type fibSource struct {
+	tap  int
+	feed int
+	vec  [fibLen]int64
+}
+
+const (
+	fibLen   = 607
+	fibTap   = 273
+	fibMask  = 1<<63 - 1
+	int32max = 1<<31 - 1
+)
+
+// newFibSource returns a source in the exact state rand.NewSource(seed)
+// would be in.
+func newFibSource(seed int64) *fibSource {
+	s := &fibSource{}
+	s.Seed(seed)
+	return s
+}
+
+// seedrand advances the Lehmer seeding generator
+// x[n+1] = 48271 * x[n] mod (2^31 - 1) without overflow (Schrage).
+func seedrand(x int32) int32 {
+	const (
+		a = 48271
+		q = 44488
+		r = 3399
+	)
+	hi := x / q
+	lo := x % q
+	x = a*lo - r*hi
+	if x < 0 {
+		x += int32max
+	}
+	return x
+}
+
+// Seed initializes the register to the deterministic state math/rand
+// derives from seed.
+func (s *fibSource) Seed(seed int64) {
+	s.tap = 0
+	s.feed = fibLen - fibTap
+
+	seed = seed % int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+
+	x := int32(seed)
+	for i := -20; i < fibLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			var u int64
+			u = int64(x) << 40
+			x = seedrand(x)
+			u ^= int64(x) << 20
+			x = seedrand(x)
+			u ^= int64(x)
+			u ^= rngCooked[i]
+			s.vec[i] = u
+		}
+	}
+}
+
+// Uint64 returns the next raw 64-bit register sum.
+func (s *fibSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += fibLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += fibLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 returns the next non-negative 63-bit integer.
+func (s *fibSource) Int63() int64 {
+	return int64(s.Uint64() & fibMask)
+}
+
+// clone returns an independent copy: the two sources produce identical
+// streams from this state on and never influence each other.
+func (s *fibSource) clone() *fibSource {
+	c := *s
+	return &c
+}
